@@ -1,0 +1,70 @@
+// Command wpexp regenerates the paper's tables and figures (see
+// DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	wpexp                      # everything, paper order
+//	wpexp -exp fig1            # one experiment
+//	wpexp -exp table3 -n 16384 # smaller GAP input
+//	wpexp -quick               # test-scale inputs (seconds, not minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/workloads/gap"
+	"repro/internal/workloads/specproxy"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: "+strings.Join(experiments.Names(), ", ")+", or all")
+		n       = flag.Int("n", 0, "GAP graph vertices (0 = default)")
+		degree  = flag.Int("degree", 0, "GAP graph degree (0 = default)")
+		scale   = flag.Float64("scale", 0, "SPEC-proxy scale (0 = default)")
+		quick   = flag.Bool("quick", false, "use test-scale inputs")
+		verbose = flag.Bool("v", false, "print one line per simulation run")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Out: os.Stdout}
+	if *quick {
+		opt.GAP = gap.TestParams()
+		opt.Spec = specproxy.TestParams()
+	}
+	if *n > 0 {
+		if opt.GAP.N == 0 {
+			opt.GAP = gap.DefaultParams()
+		}
+		opt.GAP.N = *n
+	}
+	if *degree > 0 {
+		if opt.GAP.N == 0 {
+			opt.GAP = gap.DefaultParams()
+		}
+		opt.GAP.Degree = *degree
+	}
+	if *scale > 0 {
+		opt.Spec = specproxy.DefaultParams()
+		opt.Spec.Scale = *scale
+	}
+	if *verbose {
+		opt.Progress = os.Stderr
+	}
+
+	r := experiments.NewRunner(opt)
+	var err error
+	if *exp == "all" {
+		err = r.All()
+	} else {
+		err = r.Run(*exp)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wpexp: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,175 @@
+// Command wpsim runs one workload on the functional-first simulator
+// under one wrong-path modeling technique and prints the statistics.
+//
+// Usage:
+//
+//	wpsim -suite gap -bench bfs -wp conv
+//	wpsim -suite specint -bench chase -wp nowp -max-insts 1000000
+//	wpsim -suite gap -bench pr -wp wpemul -n 8192 -degree 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+	"repro/internal/workloads/gap"
+	"repro/internal/workloads/specproxy"
+	"repro/internal/wrongpath"
+)
+
+func main() {
+	var (
+		suite    = flag.String("suite", "gap", "workload suite: gap, specint, specfp")
+		bench    = flag.String("bench", "bfs", "benchmark name within the suite")
+		wp       = flag.String("wp", "conv", "wrong-path technique: nowp, instrec, conv, wpemul")
+		maxInsts = flag.Uint64("max-insts", 0, "instruction cap (0 = workload default)")
+		warmup   = flag.Uint64("warmup", 0, "functional-warming instructions before detailed simulation")
+		parallel = flag.Bool("parallel", false, "run the functional frontend in its own goroutine")
+		n        = flag.Int("n", 0, "GAP graph vertices (0 = default)")
+		degree   = flag.Int("degree", 0, "GAP graph degree (0 = default)")
+		kron     = flag.Bool("kron", false, "use the Kronecker generator for GAP inputs")
+		grid     = flag.Bool("grid", false, "use a 2D grid (road-network-like) GAP input")
+		seed     = flag.Uint64("seed", 0, "input seed (0 = default)")
+		scale    = flag.Float64("scale", 0, "SPEC-proxy scale factor (0 = default)")
+		rob      = flag.Int("rob", 0, "ROB size override")
+		memLat   = flag.Int("mem-latency", 0, "memory latency override (cycles)")
+		showCfg  = flag.Bool("config", false, "print the core configuration and exit")
+		list     = flag.Bool("list", false, "list available benchmarks and exit")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	if *rob > 0 {
+		cfg.ROBSize = *rob
+	}
+	if *memLat > 0 {
+		cfg.Hierarchy.MemLatency = *memLat
+	}
+	if *showCfg {
+		fmt.Print(sim.DescribeConfig(cfg))
+		return
+	}
+	if *list {
+		fmt.Println("gap:    ", gap.Names())
+		for _, w := range specproxy.IntSuite(specproxy.DefaultParams()) {
+			fmt.Println("specint:", w.Name)
+		}
+		for _, w := range specproxy.FPSuite(specproxy.DefaultParams()) {
+			fmt.Println("specfp: ", w.Name)
+		}
+		return
+	}
+
+	kind, ok := wrongpath.ParseKind(*wp)
+	if !ok {
+		fatalf("unknown wrong-path technique %q", *wp)
+	}
+
+	w, err := findWorkload(*suite, *bench, *n, *degree, *kron, *grid, *seed, *scale)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	inst, err := w.Build()
+	if err != nil {
+		fatalf("building %s/%s: %v", *suite, *bench, err)
+	}
+	budget := *maxInsts
+	if budget == 0 {
+		budget = inst.SuggestedMaxInsts
+	}
+	res, err := sim.Run(sim.Config{Core: cfg, WP: kind, MaxInsts: budget, WarmupInsts: *warmup, ParallelFrontend: *parallel}, inst)
+	if err != nil {
+		fatalf("simulating: %v", err)
+	}
+	printResult(*suite, *bench, kind, res)
+}
+
+func findWorkload(suite, bench string, n, degree int, kron, grid bool, seed uint64, scale float64) (workloads.Workload, error) {
+	switch suite {
+	case "gap":
+		p := gap.DefaultParams()
+		if n > 0 {
+			p.N = n
+		}
+		if degree > 0 {
+			p.Degree = degree
+		}
+		if seed != 0 {
+			p.Seed = seed
+		}
+		p.Kron = kron
+		p.Grid = grid
+		w, ok := gap.ByName(bench, p)
+		if !ok {
+			return workloads.Workload{}, fmt.Errorf("unknown gap benchmark %q (have %v)", bench, gap.Names())
+		}
+		return w, nil
+	case "specint", "specfp":
+		p := specproxy.DefaultParams()
+		if seed != 0 {
+			p.Seed = seed
+		}
+		if scale > 0 {
+			p.Scale = scale
+		}
+		var pool []workloads.Workload
+		if suite == "specint" {
+			pool = specproxy.IntSuite(p)
+		} else {
+			pool = specproxy.FPSuite(p)
+		}
+		for _, w := range pool {
+			if w.Name == bench {
+				return w, nil
+			}
+		}
+		return workloads.Workload{}, fmt.Errorf("unknown %s benchmark %q", suite, bench)
+	default:
+		return workloads.Workload{}, fmt.Errorf("unknown suite %q (gap, specint, specfp)", suite)
+	}
+}
+
+func printResult(suite, bench string, kind wrongpath.Kind, res *sim.Result) {
+	fmt.Printf("workload            %s/%s\n", suite, bench)
+	fmt.Printf("technique           %s\n", kind)
+	fmt.Printf("instructions        %d\n", res.Core.Instructions)
+	fmt.Printf("cycles              %d\n", res.Core.Cycles)
+	fmt.Printf("IPC                 %.4f\n", res.IPC())
+	fmt.Printf("branch MPKI         %.2f\n", res.Core.MPKI())
+	fmt.Printf("cond mispredict     %d / %d\n", res.Core.CondMispredicted, res.Core.CondBranches)
+	fmt.Printf("L1D miss rate       %.2f%% (%d accesses)\n", 100*res.L1D.Correct.MissRate(), res.L1D.Correct.Accesses)
+	fmt.Printf("L2 miss rate        %.2f%% (%d accesses)\n", 100*res.L2.Total().MissRate(), res.L2.Total().Accesses)
+	fmt.Printf("LLC miss rate       %.2f%% (%d accesses)\n", 100*res.LLC.Total().MissRate(), res.LLC.Total().Accesses)
+	fmt.Printf("DRAM accesses       %d (%d wrong-path)\n", res.MemAccesses, res.WrongMemAccesses)
+	fmt.Printf("DTLB miss rate      %.2f%%\n", 100*res.DTLB.Total().MissRate())
+	fmt.Printf("WP fetched          %d\n", res.Core.WPFetched)
+	fmt.Printf("WP executed         %d (%.0f%% of correct path)\n", res.Core.WPExecuted, 100*res.Core.WPFraction())
+	fmt.Printf("WP loads executed   %d (%d with address)\n", res.Core.WPLoads, res.Core.WPLoadsWithAddr)
+	fmt.Printf("WP L2 misses        %d\n", res.L2.Wrong.Misses)
+	if kind == wrongpath.Conv {
+		fmt.Printf("conv frac           %.0f%%\n", 100*res.Policy.ConvFrac())
+		fmt.Printf("conv dist           %.1f\n", res.Policy.ConvDist())
+		fmt.Printf("addr recover        %.0f%%\n", 100*res.Policy.AddrRecoverFrac())
+		fmt.Printf("match len           %.1f\n", res.Policy.MatchLen())
+	}
+	if kind == wrongpath.WPEmul {
+		fmt.Printf("WP emulations       %d paths, %d instructions\n", res.WPEmulatedPaths, res.WPEmulatedInsts)
+	}
+	fmt.Printf("wall time           %v\n", res.Wall)
+	if len(res.Output) > 0 {
+		fmt.Printf("program output      %q\n", res.Output)
+	}
+	if res.Err != nil {
+		fmt.Printf("functional error    %v\n", res.Err)
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "wpsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,143 @@
+// Command wptrace records workload execution traces and replays them
+// through the performance simulator — the trace-interpreter frontend
+// mode of functional-first simulation. Replay supports every wrong-path
+// technique except wpemul (a trace holds only correct-path
+// instructions; paper §III-B).
+//
+// Usage:
+//
+//	wptrace -record -suite gap -bench bfs -o bfs.trace
+//	wptrace -replay bfs.trace -wp conv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/frontend"
+	"repro/internal/functional"
+	"repro/internal/sim"
+	"repro/internal/tracefile"
+	"repro/internal/workloads"
+	"repro/internal/workloads/gap"
+	"repro/internal/workloads/specproxy"
+	"repro/internal/wrongpath"
+)
+
+func main() {
+	var (
+		record   = flag.Bool("record", false, "record a workload trace")
+		replay   = flag.String("replay", "", "replay a trace file through the performance simulator")
+		out      = flag.String("o", "out.trace", "output trace path (record mode)")
+		suite    = flag.String("suite", "gap", "workload suite (record mode)")
+		bench    = flag.String("bench", "bfs", "benchmark (record mode)")
+		wp       = flag.String("wp", "conv", "wrong-path technique (replay mode; wpemul unsupported)")
+		maxInsts = flag.Uint64("max-insts", 0, "instruction cap (0 = workload default)")
+	)
+	flag.Parse()
+
+	switch {
+	case *record:
+		w, err := findWorkload(*suite, *bench)
+		if err != nil {
+			fatal(err)
+		}
+		inst, err := w.Build()
+		if err != nil {
+			fatal(err)
+		}
+		budget := *maxInsts
+		if budget == 0 {
+			budget = inst.SuggestedMaxInsts
+		}
+		cpu := functional.New(inst.Prog, inst.Mem, inst.StackTop)
+		var opts []frontend.Option
+		if budget > 0 {
+			opts = append(opts, frontend.WithMaxInstructions(budget))
+		}
+		fe := frontend.New(cpu, opts...)
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		tw, err := tracefile.NewWriter(f)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := tracefile.Record(fe, tw)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st, _ := os.Stat(*out)
+		fmt.Printf("recorded %d instructions to %s (%d bytes, %.2f B/inst)\n",
+			n, *out, st.Size(), float64(st.Size())/float64(n))
+
+	case *replay != "":
+		kind, ok := wrongpath.ParseKind(*wp)
+		if !ok {
+			fatal(fmt.Errorf("unknown technique %q", *wp))
+		}
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r, err := tracefile.NewReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := sim.Default(kind)
+		cfg.MaxInsts = *maxInsts
+		res, err := sim.RunTrace(cfg, r)
+		if err != nil {
+			fatal(err)
+		}
+		if r.Err() != nil {
+			fatal(r.Err())
+		}
+		fmt.Printf("technique      %s\n", kind)
+		fmt.Printf("instructions   %d\n", res.Core.Instructions)
+		fmt.Printf("cycles         %d\n", res.Core.Cycles)
+		fmt.Printf("IPC            %.4f\n", res.IPC())
+		fmt.Printf("mispredicts    %d\n", res.Core.Mispredicts)
+		fmt.Printf("WP executed    %d\n", res.Core.WPExecuted)
+		fmt.Printf("wall time      %v\n", res.Wall)
+
+	default:
+		fmt.Fprintln(os.Stderr, "wptrace: need -record or -replay; see -h")
+		os.Exit(2)
+	}
+}
+
+func findWorkload(suite, bench string) (workloads.Workload, error) {
+	switch suite {
+	case "gap":
+		w, ok := gap.ByName(bench, gap.DefaultParams())
+		if !ok {
+			return workloads.Workload{}, fmt.Errorf("unknown gap benchmark %q", bench)
+		}
+		return w, nil
+	case "specint", "specfp":
+		pool := specproxy.IntSuite(specproxy.DefaultParams())
+		if suite == "specfp" {
+			pool = specproxy.FPSuite(specproxy.DefaultParams())
+		}
+		for _, w := range pool {
+			if w.Name == bench {
+				return w, nil
+			}
+		}
+		return workloads.Workload{}, fmt.Errorf("unknown %s benchmark %q", suite, bench)
+	default:
+		return workloads.Workload{}, fmt.Errorf("unknown suite %q", suite)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wptrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,611 @@
+// Package asm implements a small two-pass assembler for the simulator's
+// ISA (see internal/isa). Workloads — the GAP graph kernels and the
+// SPEC-proxy kernels — are written in this assembly language, playing
+// the role of the benchmark binaries that the paper's Pin front end
+// instruments.
+//
+// Syntax (line oriented; '#' or ';' start a comment):
+//
+//	.org 0x1000          set the base address (before any instruction)
+//	.entry main          set the entry label (default: first instruction)
+//	.equ N, 100          define a constant
+//	loop:                define a label
+//	    addi a0, a0, -1  register-immediate form
+//	    ld   t0, 8(a1)   loads:  rd, disp(base)
+//	    sd   t0, 0(a2)   stores: rs, disp(base)
+//	    bne  a0, zero, loop
+//	    jal  ra, func    direct call; 'call func' and 'j lbl' are pseudos
+//	    jalr zero, ra, 0 indirect jump; 'ret' is a pseudo
+//	    ecall            syscall: a7 = number, a0.. = arguments
+//
+// Immediates are decimal or 0x-hex, optionally 'sym' or 'sym+off' or
+// 'sym-off' where sym is a label, an .equ constant, or a predefined
+// symbol supplied via WithSymbols (the workload loader passes data-array
+// addresses this way).
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Option configures Assemble.
+type Option func(*assembler)
+
+// WithSymbols predefines symbols (typically data addresses laid out by
+// the workload loader) visible to the source.
+func WithSymbols(syms map[string]uint64) Option {
+	return func(a *assembler) {
+		for k, v := range syms {
+			a.consts[k] = int64(v)
+		}
+	}
+}
+
+// WithBase sets the default base address (the .org directive overrides).
+func WithBase(base uint64) Option {
+	return func(a *assembler) { a.base = base }
+}
+
+// Error describes an assembly error with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// ErrorList is the aggregate of all errors found in a source.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "asm: no errors"
+	}
+	msgs := make([]string, len(l))
+	for i, e := range l {
+		msgs[i] = e.Error()
+	}
+	return strings.Join(msgs, "\n")
+}
+
+type sourceInst struct {
+	line     int
+	mnemonic string
+	operands []string
+}
+
+type assembler struct {
+	base     uint64
+	entryLbl string
+	consts   map[string]int64  // .equ constants and predefined symbols
+	labels   map[string]uint64 // code labels
+	insts    []sourceInst
+	errs     ErrorList
+}
+
+// Assemble translates source into a program.
+func Assemble(source string, opts ...Option) (*isa.Program, error) {
+	a := &assembler{
+		base:   0x1000,
+		consts: make(map[string]int64),
+		labels: make(map[string]uint64),
+	}
+	for _, opt := range opts {
+		opt(a)
+	}
+	a.pass1(source)
+	if len(a.errs) > 0 {
+		return nil, a.errs
+	}
+	prog := a.pass2()
+	if len(a.errs) > 0 {
+		return nil, a.errs
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble that panics on error; for workload tables
+// built at init time where the source is a compile-time constant.
+func MustAssemble(source string, opts ...Option) *isa.Program {
+	p, err := Assemble(source, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a *assembler) errorf(line int, format string, args ...interface{}) {
+	a.errs = append(a.errs, &Error{Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+// pass1 tokenizes, collects labels/constants and records instructions.
+func (a *assembler) pass1(source string) {
+	sawInst := false
+	for lineNo, raw := range strings.Split(source, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(strings.ReplaceAll(line, "\t", " "))
+		if line == "" {
+			continue
+		}
+		ln := lineNo + 1
+
+		// Labels (possibly several, possibly followed by an instruction).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if !isIdent(name) {
+				a.errorf(ln, "invalid label %q", name)
+				name = ""
+			}
+			if name != "" {
+				if _, dup := a.labels[name]; dup {
+					a.errorf(ln, "duplicate label %q", name)
+				}
+				a.labels[name] = a.base + uint64(len(a.insts))*isa.InstBytes
+			}
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+
+		fields := strings.SplitN(line, " ", 2)
+		mnemonic := strings.ToLower(strings.TrimSpace(fields[0]))
+		var operands []string
+		if len(fields) == 2 {
+			for _, op := range strings.Split(fields[1], ",") {
+				operands = append(operands, strings.TrimSpace(op))
+			}
+		}
+
+		if strings.HasPrefix(mnemonic, ".") {
+			switch mnemonic {
+			case ".org":
+				if sawInst {
+					a.errorf(ln, ".org after instructions is not supported")
+					continue
+				}
+				if len(operands) != 1 {
+					a.errorf(ln, ".org takes one operand")
+					continue
+				}
+				v, err := strconv.ParseUint(strings.TrimPrefix(operands[0], "0x"), parseBase(operands[0]), 64)
+				if err != nil {
+					a.errorf(ln, ".org: bad address %q", operands[0])
+					continue
+				}
+				a.base = v
+			case ".entry":
+				if len(operands) != 1 || !isIdent(operands[0]) {
+					a.errorf(ln, ".entry takes one label operand")
+					continue
+				}
+				a.entryLbl = operands[0]
+			case ".equ":
+				if len(operands) != 2 || !isIdent(operands[0]) {
+					a.errorf(ln, ".equ takes a name and a value")
+					continue
+				}
+				v, err := parseInt(operands[1])
+				if err != nil {
+					a.errorf(ln, ".equ: bad value %q", operands[1])
+					continue
+				}
+				a.consts[operands[0]] = v
+			default:
+				a.errorf(ln, "unknown directive %s", mnemonic)
+			}
+			continue
+		}
+
+		sawInst = true
+		a.insts = append(a.insts, sourceInst{line: ln, mnemonic: mnemonic, operands: operands})
+	}
+}
+
+// pass2 encodes every instruction now that all labels are known.
+func (a *assembler) pass2() *isa.Program {
+	prog := &isa.Program{
+		Base:    a.base,
+		Entry:   a.base,
+		Insts:   make([]isa.Inst, 0, len(a.insts)),
+		Symbols: make(map[string]uint64, len(a.labels)),
+	}
+	for name, addr := range a.labels {
+		prog.Symbols[name] = addr
+	}
+	if a.entryLbl != "" {
+		addr, ok := a.labels[a.entryLbl]
+		if !ok {
+			a.errorf(0, ".entry: undefined label %q", a.entryLbl)
+		} else {
+			prog.Entry = addr
+		}
+	}
+	for _, si := range a.insts {
+		prog.Insts = append(prog.Insts, a.encode(si))
+	}
+	return prog
+}
+
+func parseBase(s string) int {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "-0x") {
+		return 16
+	}
+	return 10
+}
+
+func parseInt(s string) (int64, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+var regNames = func() map[string]isa.Reg {
+	m := make(map[string]isa.Reg)
+	for i := 0; i < isa.NumIntRegs; i++ {
+		r := isa.X(i)
+		m[fmt.Sprintf("x%d", i)] = r
+		m[r.String()] = r
+	}
+	for i := 0; i < isa.NumFPRegs; i++ {
+		m[fmt.Sprintf("f%d", i)] = isa.F(i)
+	}
+	return m
+}()
+
+func (a *assembler) reg(si sourceInst, s string) isa.Reg {
+	r, ok := regNames[strings.ToLower(s)]
+	if !ok {
+		a.errorf(si.line, "unknown register %q", s)
+		return isa.X0
+	}
+	return r
+}
+
+// value resolves an integer expression: literal, constant, label, or
+// sym+off / sym-off.
+func (a *assembler) value(si sourceInst, s string) int64 {
+	if v, err := parseInt(s); err == nil {
+		return v
+	}
+	sym, off := s, int64(0)
+	if i := strings.LastIndexAny(s[1:], "+-"); i >= 0 {
+		i++ // index into s
+		o, err := parseInt(s[i+1:])
+		if err == nil {
+			sym = s[:i]
+			if s[i] == '-' {
+				o = -o
+			}
+			off = o
+		}
+	}
+	if v, ok := a.consts[sym]; ok {
+		return v + off
+	}
+	if v, ok := a.labels[sym]; ok {
+		return int64(v) + off
+	}
+	a.errorf(si.line, "undefined symbol %q", sym)
+	return 0
+}
+
+// target resolves a branch/jump target to an absolute address.
+func (a *assembler) target(si sourceInst, s string) uint64 {
+	return uint64(a.value(si, s))
+}
+
+// memOperand parses "disp(base)" with an optional displacement.
+func (a *assembler) memOperand(si sourceInst, s string) (disp int64, base isa.Reg) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		a.errorf(si.line, "bad memory operand %q (want disp(reg))", s)
+		return 0, isa.X0
+	}
+	dispStr := strings.TrimSpace(s[:open])
+	if dispStr != "" {
+		disp = a.value(si, dispStr)
+	}
+	base = a.reg(si, strings.TrimSpace(s[open+1:len(s)-1]))
+	return disp, base
+}
+
+func (a *assembler) want(si sourceInst, n int) bool {
+	if len(si.operands) != n {
+		a.errorf(si.line, "%s takes %d operands, got %d", si.mnemonic, n, len(si.operands))
+		return false
+	}
+	return true
+}
+
+var rrrOps = map[string]isa.Op{
+	"add": isa.OpAdd, "sub": isa.OpSub, "and": isa.OpAnd, "or": isa.OpOr,
+	"xor": isa.OpXor, "sll": isa.OpSll, "srl": isa.OpSrl, "sra": isa.OpSra,
+	"slt": isa.OpSlt, "sltu": isa.OpSltu,
+	"mul": isa.OpMul, "mulh": isa.OpMulh, "div": isa.OpDiv, "divu": isa.OpDivu,
+	"rem": isa.OpRem, "remu": isa.OpRemu,
+	"fadd": isa.OpFadd, "fsub": isa.OpFsub, "fmul": isa.OpFmul,
+	"fdiv": isa.OpFdiv, "fmin": isa.OpFmin, "fmax": isa.OpFmax,
+	"feq": isa.OpFeq, "flt": isa.OpFlt, "fle": isa.OpFle,
+}
+
+var rriOps = map[string]isa.Op{
+	"addi": isa.OpAddi, "andi": isa.OpAndi, "ori": isa.OpOri,
+	"xori": isa.OpXori, "slli": isa.OpSlli, "srli": isa.OpSrli,
+	"srai": isa.OpSrai, "slti": isa.OpSlti, "sltiu": isa.OpSltiu,
+}
+
+var loadOps = map[string]isa.Op{
+	"ld": isa.OpLd, "lw": isa.OpLw, "lwu": isa.OpLwu, "lh": isa.OpLh,
+	"lhu": isa.OpLhu, "lb": isa.OpLb, "lbu": isa.OpLbu, "fld": isa.OpFld,
+}
+
+var storeOps = map[string]isa.Op{
+	"sd": isa.OpSd, "sw": isa.OpSw, "sh": isa.OpSh, "sb": isa.OpSb,
+	"fsd": isa.OpFsd,
+}
+
+var branchOps = map[string]isa.Op{
+	"beq": isa.OpBeq, "bne": isa.OpBne, "blt": isa.OpBlt,
+	"bge": isa.OpBge, "bltu": isa.OpBltu, "bgeu": isa.OpBgeu,
+}
+
+var rrOps = map[string]isa.Op{
+	"fneg": isa.OpFneg, "fabs": isa.OpFabs, "fsqrt": isa.OpFsqrt,
+	"fcvt.d.l": isa.OpFcvtDL, "fcvt.l.d": isa.OpFcvtLD,
+	"fmv.x.d": isa.OpFmvXD, "fmv.d.x": isa.OpFmvDX,
+}
+
+func (a *assembler) encode(si sourceInst) isa.Inst {
+	none := isa.RegNone
+	in := isa.Inst{Rd: none, Rs1: none, Rs2: none, Rs3: none}
+	m := si.mnemonic
+
+	if op, ok := rrrOps[m]; ok {
+		if a.want(si, 3) {
+			in.Op, in.Rd = op, a.reg(si, si.operands[0])
+			in.Rs1, in.Rs2 = a.reg(si, si.operands[1]), a.reg(si, si.operands[2])
+		}
+		return in
+	}
+	if op, ok := rriOps[m]; ok {
+		if a.want(si, 3) {
+			in.Op, in.Rd, in.Rs1 = op, a.reg(si, si.operands[0]), a.reg(si, si.operands[1])
+			in.Imm = a.value(si, si.operands[2])
+		}
+		return in
+	}
+	if op, ok := loadOps[m]; ok {
+		if a.want(si, 2) {
+			in.Op, in.Rd = op, a.reg(si, si.operands[0])
+			in.Imm, in.Rs1 = a.memOperand(si, si.operands[1])
+		}
+		return in
+	}
+	if op, ok := storeOps[m]; ok {
+		if a.want(si, 2) {
+			in.Op, in.Rs2 = op, a.reg(si, si.operands[0])
+			in.Imm, in.Rs1 = a.memOperand(si, si.operands[1])
+		}
+		return in
+	}
+	if op, ok := branchOps[m]; ok {
+		if a.want(si, 3) {
+			in.Op, in.Rs1, in.Rs2 = op, a.reg(si, si.operands[0]), a.reg(si, si.operands[1])
+			in.Target = a.target(si, si.operands[2])
+		}
+		return in
+	}
+	if op, ok := rrOps[m]; ok {
+		if a.want(si, 2) {
+			in.Op, in.Rd, in.Rs1 = op, a.reg(si, si.operands[0]), a.reg(si, si.operands[1])
+		}
+		return in
+	}
+
+	switch m {
+	case "nop":
+		return isa.Nop
+	case "ecall":
+		in.Op = isa.OpEcall
+		return in
+	case "lui":
+		if a.want(si, 2) {
+			in.Op, in.Rd = isa.OpLui, a.reg(si, si.operands[0])
+			in.Imm = a.value(si, si.operands[1]) << 12
+		}
+		return in
+	case "fmadd":
+		if a.want(si, 4) {
+			in.Op, in.Rd = isa.OpFmadd, a.reg(si, si.operands[0])
+			in.Rs1, in.Rs2 = a.reg(si, si.operands[1]), a.reg(si, si.operands[2])
+			in.Rs3 = a.reg(si, si.operands[3])
+		}
+		return in
+	case "jal":
+		if a.want(si, 2) {
+			in.Op, in.Rd = isa.OpJal, a.reg(si, si.operands[0])
+			in.Target = a.target(si, si.operands[1])
+		}
+		return in
+	case "jalr":
+		if a.want(si, 3) {
+			in.Op, in.Rd, in.Rs1 = isa.OpJalr, a.reg(si, si.operands[0]), a.reg(si, si.operands[1])
+			in.Imm = a.value(si, si.operands[2])
+		}
+		return in
+
+	// --- pseudo instructions ---
+	case "li", "la":
+		if a.want(si, 2) {
+			in.Op, in.Rd, in.Rs1 = isa.OpAddi, a.reg(si, si.operands[0]), isa.X0
+			in.Imm = a.value(si, si.operands[1])
+		}
+		return in
+	case "mv":
+		if a.want(si, 2) {
+			in.Op, in.Rd, in.Rs1 = isa.OpAddi, a.reg(si, si.operands[0]), a.reg(si, si.operands[1])
+		}
+		return in
+	case "not":
+		if a.want(si, 2) {
+			in.Op, in.Rd, in.Rs1 = isa.OpXori, a.reg(si, si.operands[0]), a.reg(si, si.operands[1])
+			in.Imm = -1
+		}
+		return in
+	case "neg":
+		if a.want(si, 2) {
+			in.Op, in.Rd, in.Rs1, in.Rs2 = isa.OpSub, a.reg(si, si.operands[0]), isa.X0, a.reg(si, si.operands[1])
+		}
+		return in
+	case "seqz":
+		if a.want(si, 2) {
+			in.Op, in.Rd, in.Rs1, in.Imm = isa.OpSltiu, a.reg(si, si.operands[0]), a.reg(si, si.operands[1]), 1
+		}
+		return in
+	case "snez":
+		if a.want(si, 2) {
+			in.Op, in.Rd, in.Rs1, in.Rs2 = isa.OpSltu, a.reg(si, si.operands[0]), isa.X0, a.reg(si, si.operands[1])
+		}
+		return in
+	case "fmv.d":
+		if a.want(si, 2) {
+			r := a.reg(si, si.operands[1])
+			in.Op, in.Rd, in.Rs1, in.Rs2 = isa.OpFmin, a.reg(si, si.operands[0]), r, r
+		}
+		return in
+	case "j":
+		if a.want(si, 1) {
+			in.Op, in.Rd, in.Target = isa.OpJal, isa.X0, a.target(si, si.operands[0])
+		}
+		return in
+	case "call":
+		if a.want(si, 1) {
+			in.Op, in.Rd, in.Target = isa.OpJal, isa.RA, a.target(si, si.operands[0])
+		}
+		return in
+	case "jr":
+		if a.want(si, 1) {
+			in.Op, in.Rd, in.Rs1 = isa.OpJalr, isa.X0, a.reg(si, si.operands[0])
+		}
+		return in
+	case "ret":
+		if a.want(si, 0) {
+			in.Op, in.Rd, in.Rs1 = isa.OpJalr, isa.X0, isa.RA
+		}
+		return in
+	case "beqz", "bnez", "bltz", "bgez", "bgtz", "blez":
+		if a.want(si, 2) {
+			r := a.reg(si, si.operands[0])
+			in.Target = a.target(si, si.operands[1])
+			switch m {
+			case "beqz":
+				in.Op, in.Rs1, in.Rs2 = isa.OpBeq, r, isa.X0
+			case "bnez":
+				in.Op, in.Rs1, in.Rs2 = isa.OpBne, r, isa.X0
+			case "bltz":
+				in.Op, in.Rs1, in.Rs2 = isa.OpBlt, r, isa.X0
+			case "bgez":
+				in.Op, in.Rs1, in.Rs2 = isa.OpBge, r, isa.X0
+			case "bgtz":
+				in.Op, in.Rs1, in.Rs2 = isa.OpBlt, isa.X0, r
+			case "blez":
+				in.Op, in.Rs1, in.Rs2 = isa.OpBge, isa.X0, r
+			}
+		}
+		return in
+	case "bgt", "ble", "bgtu", "bleu":
+		if a.want(si, 3) {
+			r1, r2 := a.reg(si, si.operands[0]), a.reg(si, si.operands[1])
+			in.Target = a.target(si, si.operands[2])
+			switch m {
+			case "bgt":
+				in.Op, in.Rs1, in.Rs2 = isa.OpBlt, r2, r1
+			case "ble":
+				in.Op, in.Rs1, in.Rs2 = isa.OpBge, r2, r1
+			case "bgtu":
+				in.Op, in.Rs1, in.Rs2 = isa.OpBltu, r2, r1
+			case "bleu":
+				in.Op, in.Rs1, in.Rs2 = isa.OpBgeu, r2, r1
+			}
+		}
+		return in
+	}
+
+	a.errorf(si.line, "unknown mnemonic %q", m)
+	return isa.Nop
+}
+
+// Mnemonics returns all accepted mnemonics (real and pseudo), sorted;
+// used by tests and tooling.
+func Mnemonics() []string {
+	set := map[string]bool{
+		"nop": true, "ecall": true, "lui": true, "fmadd": true,
+		"jal": true, "jalr": true, "li": true, "la": true, "mv": true,
+		"not": true, "neg": true, "seqz": true, "snez": true, "fmv.d": true,
+		"j": true, "call": true, "jr": true, "ret": true,
+		"beqz": true, "bnez": true, "bltz": true, "bgez": true,
+		"bgtz": true, "blez": true, "bgt": true, "ble": true,
+		"bgtu": true, "bleu": true,
+	}
+	for _, m := range []map[string]isa.Op{rrrOps, rriOps, loadOps, storeOps, branchOps, rrOps} {
+		for k := range m {
+			set[k] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

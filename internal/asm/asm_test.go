@@ -1,0 +1,314 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestBasicProgram(t *testing.T) {
+	p, err := Assemble(`
+.org 0x2000
+.entry main
+main:
+    li   a0, 10
+loop:
+    addi a0, a0, -1
+    bnez a0, loop
+    ecall
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Base != 0x2000 || p.Entry != 0x2000 {
+		t.Errorf("base/entry = %#x/%#x", p.Base, p.Entry)
+	}
+	if len(p.Insts) != 4 {
+		t.Fatalf("got %d instructions", len(p.Insts))
+	}
+	if p.Insts[0].Op != isa.OpAddi || p.Insts[0].Rd != isa.A0 || p.Insts[0].Rs1 != isa.X0 || p.Insts[0].Imm != 10 {
+		t.Errorf("li wrong: %+v", p.Insts[0])
+	}
+	br := p.Insts[2]
+	if br.Op != isa.OpBne || br.Rs1 != isa.A0 || br.Rs2 != isa.X0 {
+		t.Errorf("bnez wrong: %+v", br)
+	}
+	if br.Target != p.MustSymbol("loop") {
+		t.Errorf("bnez target = %#x, want loop %#x", br.Target, p.MustSymbol("loop"))
+	}
+}
+
+func TestMemoryOperands(t *testing.T) {
+	p, err := Assemble(`
+    ld  t0, 8(a0)
+    ld  t1, (a1)
+    sd  t0, -16(sp)
+    fld f0, 24(a2)
+    fsd f0, 0(a2)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := p.Insts[0]
+	if ld.Op != isa.OpLd || ld.Rd != isa.T0 || ld.Rs1 != isa.A0 || ld.Imm != 8 {
+		t.Errorf("ld wrong: %+v", ld)
+	}
+	if p.Insts[1].Imm != 0 {
+		t.Errorf("empty displacement = %d", p.Insts[1].Imm)
+	}
+	sd := p.Insts[2]
+	if sd.Op != isa.OpSd || sd.Rs2 != isa.T0 || sd.Rs1 != isa.SP || sd.Imm != -16 {
+		t.Errorf("sd wrong: %+v", sd)
+	}
+	if p.Insts[3].Rd != isa.F(0) || p.Insts[4].Rs2 != isa.F(0) {
+		t.Error("FP memory registers wrong")
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p, err := Assemble(`
+main:
+    mv   a0, a1
+    not  t0, t1
+    neg  t2, t3
+    seqz t4, t5
+    snez t6, s0
+    j    main
+    call main
+    ret
+    jr   t0
+    beqz a0, main
+    bgtz a1, main
+    bgt  a2, a3, main
+    bleu a4, a5, main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(i int, op isa.Op, rd, rs1, rs2 isa.Reg) {
+		t.Helper()
+		in := p.Insts[i]
+		if in.Op != op || in.Rd != rd || in.Rs1 != rs1 || in.Rs2 != rs2 {
+			t.Errorf("inst %d = %+v, want op=%v rd=%v rs1=%v rs2=%v", i, in, op, rd, rs1, rs2)
+		}
+	}
+	check(0, isa.OpAddi, isa.A0, isa.A1, isa.RegNone)
+	check(1, isa.OpXori, isa.T0, isa.T1, isa.RegNone)
+	if p.Insts[1].Imm != -1 {
+		t.Error("not imm wrong")
+	}
+	check(2, isa.OpSub, isa.T2, isa.X0, isa.T3)
+	check(3, isa.OpSltiu, isa.T4, isa.T5, isa.RegNone)
+	check(4, isa.OpSltu, isa.T6, isa.X0, isa.S0)
+	check(5, isa.OpJal, isa.X0, isa.RegNone, isa.RegNone)
+	check(6, isa.OpJal, isa.RA, isa.RegNone, isa.RegNone)
+	check(7, isa.OpJalr, isa.X0, isa.RA, isa.RegNone)
+	check(8, isa.OpJalr, isa.X0, isa.T0, isa.RegNone)
+	check(9, isa.OpBeq, isa.RegNone, isa.A0, isa.X0)
+	// bgtz a1 -> blt zero, a1
+	check(10, isa.OpBlt, isa.RegNone, isa.X0, isa.A1)
+	// bgt a2, a3 -> blt a3, a2
+	check(11, isa.OpBlt, isa.RegNone, isa.A3, isa.A2)
+	// bleu a4, a5 -> bgeu a5, a4
+	check(12, isa.OpBgeu, isa.RegNone, isa.A5, isa.A4)
+}
+
+func TestEquAndSymbols(t *testing.T) {
+	p, err := Assemble(`
+.equ COUNT, 42
+.equ BIG, 0x1000
+    li t0, COUNT
+    li t1, BIG
+    li t2, DATA
+    li t3, DATA+16
+    li t4, DATA-8
+    li t5, -5
+`, WithSymbols(map[string]uint64{"DATA": 0x8000}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []int64{42, 0x1000, 0x8000, 0x8010, 0x7ff8, -5}
+	for i, want := range wants {
+		if got := p.Insts[i].Imm; got != want {
+			t.Errorf("inst %d imm = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestLabelTargets(t *testing.T) {
+	p, err := Assemble(`
+a:  nop
+b:  nop
+    beq t0, t1, a
+    jal ra, b
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[2].Target != p.MustSymbol("a") {
+		t.Error("branch target wrong")
+	}
+	if p.Insts[3].Target != p.MustSymbol("b") {
+		t.Error("jal target wrong")
+	}
+}
+
+func TestMultipleLabelsSameLine(t *testing.T) {
+	p, err := Assemble("x: y: nop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MustSymbol("x") != p.MustSymbol("y") {
+		t.Error("labels differ")
+	}
+}
+
+func TestLui(t *testing.T) {
+	p, err := Assemble("lui t0, 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != isa.OpLui || p.Insts[0].Imm != 5<<12 {
+		t.Errorf("lui = %+v", p.Insts[0])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown mnemonic", "frobnicate a0, a1", "unknown mnemonic"},
+		{"unknown register", "add a0, a1, q9", "unknown register"},
+		{"bad operand count", "add a0, a1", "takes 3 operands"},
+		{"duplicate label", "x: nop\nx: nop", "duplicate label"},
+		{"undefined symbol", "li a0, NOPE", "undefined symbol"},
+		{"bad mem operand", "ld a0, a1", "memory operand"},
+		{"bad directive", ".frob 1", "unknown directive"},
+		{"bad entry", ".entry\nnop", ".entry"},
+		{"undefined entry", ".entry nowhere\nnop", "undefined label"},
+		{"org after insts", "nop\n.org 0x100", ".org after instructions"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbadop\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q missing line number", err)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic")
+		}
+	}()
+	MustAssemble("junk")
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	p, err := Assemble("\t nop # trailing\n; full comment line\n  nop\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 2 {
+		t.Errorf("got %d instructions", len(p.Insts))
+	}
+}
+
+func TestMnemonicsComplete(t *testing.T) {
+	ms := Mnemonics()
+	if len(ms) < 60 {
+		t.Errorf("only %d mnemonics", len(ms))
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if seen[m] {
+			t.Errorf("duplicate mnemonic %q", m)
+		}
+		seen[m] = true
+	}
+	for _, want := range []string{"add", "ld", "sd", "beq", "jal", "ecall", "ret", "fmadd", "fcvt.d.l"} {
+		if !seen[want] {
+			t.Errorf("mnemonic %q missing", want)
+		}
+	}
+}
+
+// TestEveryMnemonicAssembles feeds each mnemonic a plausible operand
+// list and requires successful assembly — a completeness check over the
+// whole surface.
+func TestEveryMnemonicAssembles(t *testing.T) {
+	operands := func(m string) string {
+		switch m {
+		case "nop", "ecall", "ret":
+			return ""
+		case "j", "call":
+			return "lbl"
+		case "jr":
+			return "t0"
+		case "jal":
+			return "ra, lbl"
+		case "jalr":
+			return "ra, t0, 0"
+		case "beqz", "bnez", "bltz", "bgez", "bgtz", "blez":
+			return "t0, lbl"
+		case "beq", "bne", "blt", "bge", "bltu", "bgeu", "bgt", "ble", "bgtu", "bleu":
+			return "t0, t1, lbl"
+		case "ld", "lw", "lwu", "lh", "lhu", "lb", "lbu":
+			return "t0, 0(a0)"
+		case "fld":
+			return "f0, 0(a0)"
+		case "sd", "sw", "sh", "sb":
+			return "t0, 0(a0)"
+		case "fsd":
+			return "f0, 0(a0)"
+		case "li", "la", "lui":
+			return "t0, 1"
+		case "mv", "not", "neg", "seqz", "snez":
+			return "t0, t1"
+		case "fneg", "fabs", "fsqrt", "fmv.d", "fcvt.d.l", "fcvt.l.d", "fmv.x.d", "fmv.d.x":
+			return "f0, f1"
+		case "fmadd":
+			return "f0, f1, f2, f3"
+		case "fadd", "fsub", "fmul", "fdiv", "fmin", "fmax", "feq", "flt", "fle":
+			return "f0, f1, f2"
+		case "addi", "andi", "ori", "xori", "slli", "srli", "srai", "slti", "sltiu":
+			return "t0, t1, 4"
+		default: // integer register-register
+			return "t0, t1, t2"
+		}
+	}
+	for _, m := range Mnemonics() {
+		src := "lbl: nop\n" + m + " " + operands(m) + "\n"
+		// Register-kind fixups for FP<->int cross ops.
+		switch m {
+		case "fcvt.d.l", "fmv.d.x":
+			src = "lbl: nop\n" + m + " f0, t0\n"
+		case "fcvt.l.d", "fmv.x.d":
+			src = "lbl: nop\n" + m + " t0, f0\n"
+		case "feq", "flt", "fle":
+			src = "lbl: nop\n" + m + " t0, f0, f1\n"
+		}
+		if _, err := Assemble(src); err != nil {
+			t.Errorf("mnemonic %q failed: %v", m, err)
+		}
+	}
+}

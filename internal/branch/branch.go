@@ -1,0 +1,365 @@
+// Package branch implements the branch prediction unit simulated by the
+// performance model: a tournament (bimodal + gshare) conditional
+// predictor, a return-address stack, and an indirect-target predictor.
+//
+// Everything is deterministic and cheaply clonable. Clonability matters
+// twice in this reproduction: the wpemul frontend keeps an
+// exactly-synchronized copy of the core's predictor (the paper: "the
+// functional simulator contains a copy of the branch predictor model"),
+// and wrong-path reconstruction walks use a scratch copy of the RAS so
+// speculative calls/returns steer the reconstructed path without
+// corrupting committed predictor state.
+//
+// Update discipline (shared by every simulator variant so that predictor
+// state is identical across them at every correct-path branch): state is
+// updated in program order at prediction time by correct-path control
+// instructions only; wrong-path control instructions read the predictor
+// but never update it.
+package branch
+
+import "repro/internal/isa"
+
+// PredictorKind selects the conditional-predictor organization.
+type PredictorKind int
+
+// Conditional predictor organizations.
+const (
+	// PredictorTournament is the default bimodal+gshare tournament.
+	PredictorTournament PredictorKind = iota
+	// PredictorTAGE is a simplified TAGE (tagged geometric-history).
+	PredictorTAGE
+	// PredictorPerfect is an oracle: every control instruction is
+	// predicted correctly, so no wrong path ever exists. Integrated
+	// execute-at-execute simulators cannot offer this mode (the paper's
+	// §I flexibility argument for functional-first simulation); this
+	// simulator can, because the functional frontend knows every actual
+	// outcome ahead of time.
+	PredictorPerfect
+)
+
+// String names the predictor organization.
+func (k PredictorKind) String() string {
+	switch k {
+	case PredictorTournament:
+		return "tournament"
+	case PredictorTAGE:
+		return "tage"
+	case PredictorPerfect:
+		return "perfect"
+	}
+	return "unknown"
+}
+
+// Config sizes the prediction structures.
+type Config struct {
+	// Predictor selects the conditional-predictor organization.
+	Predictor PredictorKind
+	// BimodalBits is log2 of the bimodal table size.
+	BimodalBits int
+	// GShareBits is log2 of the gshare table size.
+	GShareBits int
+	// ChoiceBits is log2 of the tournament chooser table size.
+	ChoiceBits int
+	// HistoryLen is the global-history length in branches.
+	HistoryLen int
+	// RASSize is the return-address-stack depth.
+	RASSize int
+	// IndirectBits is log2 of the indirect-target table size.
+	IndirectBits int
+}
+
+// DefaultConfig returns a configuration in line with a modern
+// high-performance core front end.
+func DefaultConfig() Config {
+	return Config{
+		BimodalBits:  14,
+		GShareBits:   16,
+		ChoiceBits:   14,
+		HistoryLen:   16,
+		RASSize:      32,
+		IndirectBits: 12,
+	}
+}
+
+// Unit is the branch prediction unit.
+type Unit struct {
+	cfg      Config
+	bimodal  []uint8 // 2-bit saturating counters
+	gshare   []uint8
+	choice   []uint8 // 2-bit: ≥2 selects gshare
+	tage     *tage   // non-nil for PredictorTAGE
+	history  uint64
+	histMask uint64
+
+	ras    []uint64
+	rasTop int // index of next push slot; stack is circular
+
+	indirect []uint64 // last-target table; 0 = empty
+}
+
+// New creates a predictor with all structures in their reset state
+// (weakly not-taken, empty RAS, empty indirect table).
+func New(cfg Config) *Unit {
+	u := &Unit{
+		cfg:      cfg,
+		bimodal:  make([]uint8, 1<<cfg.BimodalBits),
+		gshare:   make([]uint8, 1<<cfg.GShareBits),
+		choice:   make([]uint8, 1<<cfg.ChoiceBits),
+		histMask: (1 << uint(cfg.HistoryLen)) - 1,
+		ras:      make([]uint64, cfg.RASSize),
+		indirect: make([]uint64, 1<<cfg.IndirectBits),
+	}
+	for i := range u.bimodal {
+		u.bimodal[i] = 1 // weakly not-taken
+	}
+	for i := range u.gshare {
+		u.gshare[i] = 1
+	}
+	for i := range u.choice {
+		u.choice[i] = 1 // weakly bimodal
+	}
+	if cfg.Predictor == PredictorTAGE {
+		u.tage = newTAGE(cfg.BimodalBits, cfg.GShareBits-2)
+		// TAGE's longest table history exceeds typical tournament
+		// history lengths; keep enough global history for it.
+		if cfg.HistoryLen < 64 {
+			u.histMask = (1 << 63) - 1
+		}
+	}
+	return u
+}
+
+// Clone returns an independent copy with identical state.
+func (u *Unit) Clone() *Unit {
+	c := &Unit{cfg: u.cfg, history: u.history, histMask: u.histMask, rasTop: u.rasTop}
+	if u.tage != nil {
+		c.tage = u.tage.clone()
+	}
+	c.bimodal = append([]uint8(nil), u.bimodal...)
+	c.gshare = append([]uint8(nil), u.gshare...)
+	c.choice = append([]uint8(nil), u.choice...)
+	c.ras = append([]uint64(nil), u.ras...)
+	c.indirect = append([]uint64(nil), u.indirect...)
+	return c
+}
+
+func pcIndex(pc uint64, bits int) uint64 {
+	return (pc >> 2) & ((1 << uint(bits)) - 1)
+}
+
+func (u *Unit) gshareIndex(pc uint64) uint64 {
+	return ((pc >> 2) ^ (u.history & u.histMask)) & ((1 << uint(u.cfg.GShareBits)) - 1)
+}
+
+// PredictCond returns the predicted direction of the conditional branch
+// at pc without updating any state.
+func (u *Unit) PredictCond(pc uint64) bool {
+	taken, _ := u.PredictCondSpec(pc, u.history)
+	return taken
+}
+
+// SpecHistory returns the current global history, the starting point
+// for a speculative (wrong-path) walk.
+func (u *Unit) SpecHistory() uint64 { return u.history }
+
+// PredictCondSpec predicts the conditional branch at pc under the given
+// speculative global history and returns the history extended with the
+// prediction, without updating any table. Wrong-path reconstruction
+// threads the speculative history through its walk, exactly as a real
+// front end speculatively updates (and later repairs) the history
+// register.
+func (u *Unit) PredictCondSpec(pc uint64, hist uint64) (taken bool, newHist uint64) {
+	if u.tage != nil {
+		t, _ := u.tage.predict(pc, hist)
+		return t, ((hist << 1) | b2u(t)) & u.histMask
+	}
+	gsIdx := ((pc >> 2) ^ (hist & u.histMask)) & ((1 << uint(u.cfg.GShareBits)) - 1)
+	bi := u.bimodal[pcIndex(pc, u.cfg.BimodalBits)] >= 2
+	gs := u.gshare[gsIdx] >= 2
+	t := bi
+	if u.choice[pcIndex(pc, u.cfg.ChoiceBits)] >= 2 {
+		t = gs
+	}
+	return t, ((hist << 1) | b2u(t)) & u.histMask
+}
+
+// UpdateCond trains the conditional predictor with the actual outcome.
+// Call it immediately after PredictCond for correct-path branches.
+func (u *Unit) UpdateCond(pc uint64, taken bool) {
+	if u.tage != nil {
+		u.tage.update(pc, u.history, taken)
+		u.history = ((u.history << 1) | b2u(taken)) & u.histMask
+		return
+	}
+	biIdx := pcIndex(pc, u.cfg.BimodalBits)
+	gsIdx := u.gshareIndex(pc)
+	chIdx := pcIndex(pc, u.cfg.ChoiceBits)
+	biCorrect := (u.bimodal[biIdx] >= 2) == taken
+	gsCorrect := (u.gshare[gsIdx] >= 2) == taken
+	if biCorrect != gsCorrect {
+		if gsCorrect {
+			u.choice[chIdx] = satInc(u.choice[chIdx])
+		} else {
+			u.choice[chIdx] = satDec(u.choice[chIdx])
+		}
+	}
+	if taken {
+		u.bimodal[biIdx] = satInc(u.bimodal[biIdx])
+		u.gshare[gsIdx] = satInc(u.gshare[gsIdx])
+	} else {
+		u.bimodal[biIdx] = satDec(u.bimodal[biIdx])
+		u.gshare[gsIdx] = satDec(u.gshare[gsIdx])
+	}
+	u.history = ((u.history << 1) | b2u(taken)) & u.histMask
+}
+
+// PredictIndirect returns the predicted target of an indirect jump at
+// pc; ok is false when the table has no entry (the front end then has
+// no target — modeled as a guaranteed misprediction).
+func (u *Unit) PredictIndirect(pc uint64) (target uint64, ok bool) {
+	t := u.indirect[pcIndex(pc, u.cfg.IndirectBits)]
+	return t, t != 0
+}
+
+// UpdateIndirect records the actual target of an indirect jump.
+func (u *Unit) UpdateIndirect(pc uint64, target uint64) {
+	u.indirect[pcIndex(pc, u.cfg.IndirectBits)] = target
+}
+
+// PushRAS records a return address (on calls).
+func (u *Unit) PushRAS(retAddr uint64) {
+	u.ras[u.rasTop] = retAddr
+	u.rasTop = (u.rasTop + 1) % len(u.ras)
+}
+
+// PopRAS predicts a return target (on returns). ok is false only when
+// the stack slot is empty (cold start).
+func (u *Unit) PopRAS() (target uint64, ok bool) {
+	u.rasTop = (u.rasTop - 1 + len(u.ras)) % len(u.ras)
+	t := u.ras[u.rasTop]
+	return t, t != 0
+}
+
+// RASSnapshot copies the RAS state for speculative wrong-path walks.
+func (u *Unit) RASSnapshot() RAS {
+	return RAS{stack: append([]uint64(nil), u.ras...), top: u.rasTop}
+}
+
+// RAS is a standalone return-address stack used as scratch state during
+// wrong-path reconstruction.
+type RAS struct {
+	stack []uint64
+	top   int
+}
+
+// Push records a return address.
+func (r *RAS) Push(retAddr uint64) {
+	r.stack[r.top] = retAddr
+	r.top = (r.top + 1) % len(r.stack)
+}
+
+// Pop predicts a return target.
+func (r *RAS) Pop() (target uint64, ok bool) {
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	t := r.stack[r.top]
+	return t, t != 0
+}
+
+func satInc(v uint8) uint8 {
+	if v < 3 {
+		return v + 1
+	}
+	return 3
+}
+
+func satDec(v uint8) uint8 {
+	if v > 0 {
+		return v - 1
+	}
+	return 0
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// IsReturn reports whether the instruction is treated as a return by
+// the front end: jalr with no link register and ra as base.
+func IsReturn(in isa.Inst) bool {
+	return in.Op == isa.OpJalr && in.Rd == isa.X0 && in.Rs1 == isa.RA
+}
+
+// IsCall reports whether the instruction is treated as a call: a jump
+// that links into ra.
+func IsCall(in isa.Inst) bool {
+	return (in.Op == isa.OpJal || in.Op == isa.OpJalr) && in.Rd == isa.RA
+}
+
+// Prediction is the front end's verdict for one control instruction.
+type Prediction struct {
+	// Taken is the predicted direction (conditional branches only;
+	// always true for jumps).
+	Taken bool
+	// Target is the predicted next PC.
+	Target uint64
+	// Mispredicted is set when Target differs from the actual next PC.
+	Mispredicted bool
+}
+
+// PredictAndUpdate runs the full front-end prediction policy for a
+// correct-path control instruction at pc with actual outcome
+// (actualTaken, actualNext), updating predictor state in program order.
+// Both the performance model and the wpemul functional frontend call
+// this same function, which is what keeps their predictor copies
+// bit-identical.
+func (u *Unit) PredictAndUpdate(pc uint64, in isa.Inst, actualTaken bool, actualNext uint64) Prediction {
+	fallthrough_ := pc + isa.InstBytes
+	if u.cfg.Predictor == PredictorPerfect {
+		// Oracle: perfect directions and targets, no state, no wrong path.
+		return Prediction{Taken: actualTaken, Target: actualNext}
+	}
+	var p Prediction
+	switch {
+	case in.Op.IsCondBranch():
+		p.Taken = u.PredictCond(pc)
+		if p.Taken {
+			p.Target = in.Target
+		} else {
+			p.Target = fallthrough_
+		}
+		u.UpdateCond(pc, actualTaken)
+	case in.Op == isa.OpJal:
+		p.Taken = true
+		p.Target = in.Target
+		if IsCall(in) {
+			u.PushRAS(fallthrough_)
+		}
+	case in.Op == isa.OpJalr:
+		p.Taken = true
+		if IsReturn(in) {
+			t, ok := u.PopRAS()
+			if !ok {
+				t = fallthrough_ // no prediction: modeled as mispredict
+			}
+			p.Target = t
+		} else {
+			t, ok := u.PredictIndirect(pc)
+			if !ok {
+				t = fallthrough_
+			}
+			p.Target = t
+			u.UpdateIndirect(pc, actualNext)
+			if IsCall(in) {
+				u.PushRAS(fallthrough_)
+			}
+		}
+	default:
+		// Not a control instruction: predicted fall-through, never wrong.
+		p.Target = fallthrough_
+	}
+	p.Mispredicted = p.Target != actualNext
+	return p
+}

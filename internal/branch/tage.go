@@ -1,0 +1,164 @@
+package branch
+
+// tage is a simplified TAGE conditional predictor: a bimodal base
+// predictor plus NumTageTables partially-tagged tables indexed by
+// progressively longer folded global histories. The longest-history
+// tag match provides the prediction; allocation on mispredict picks a
+// not-useful entry in a longer table. It is deterministic and
+// deep-copyable, like everything in this package, so the wpemul
+// frontend's predictor copy stays exact.
+//
+// The paper's Golden Cove configuration implies a modern TAGE-class
+// predictor; selecting Config.Predictor = PredictorTAGE gets closer to
+// that behaviour than the default tournament predictor, at some
+// simulation-speed cost.
+
+// NumTageTables is the number of tagged tables.
+const NumTageTables = 4
+
+// tageHistLens are the history lengths of the tagged tables.
+var tageHistLens = [NumTageTables]uint{4, 8, 16, 32}
+
+type tageEntry struct {
+	tag    uint16
+	ctr    int8  // -4..3, taken when >= 0
+	useful uint8 // 0..3
+	valid  bool
+}
+
+type tage struct {
+	base       []uint8 // 2-bit bimodal
+	baseMask   uint64
+	tables     [NumTageTables][]tageEntry
+	tableMask  uint64
+	allocClock uint64 // deterministic allocation tie-breaking
+}
+
+func newTAGE(baseBits, tableBits int) *tage {
+	t := &tage{
+		base:      make([]uint8, 1<<uint(baseBits)),
+		baseMask:  1<<uint(baseBits) - 1,
+		tableMask: 1<<uint(tableBits) - 1,
+	}
+	for i := range t.base {
+		t.base[i] = 1 // weakly not-taken
+	}
+	for i := range t.tables {
+		t.tables[i] = make([]tageEntry, 1<<uint(tableBits))
+	}
+	return t
+}
+
+func (t *tage) clone() *tage {
+	c := &tage{
+		base:       append([]uint8(nil), t.base...),
+		baseMask:   t.baseMask,
+		tableMask:  t.tableMask,
+		allocClock: t.allocClock,
+	}
+	for i := range t.tables {
+		c.tables[i] = append([]tageEntry(nil), t.tables[i]...)
+	}
+	return c
+}
+
+// fold compresses the low lenBits of hist down to the width of mask by
+// xor-folding.
+func fold(hist uint64, lenBits uint, mask uint64) uint64 {
+	width := bitsOf(mask)
+	if width == 0 {
+		return 0
+	}
+	h := hist & (1<<lenBits - 1)
+	var f uint64
+	for h != 0 {
+		f ^= h & mask
+		h >>= width
+	}
+	return f
+}
+
+func bitsOf(mask uint64) uint {
+	n := uint(0)
+	for mask != 0 {
+		n++
+		mask >>= 1
+	}
+	return n
+}
+
+func (t *tage) index(pc uint64, hist uint64, table int) uint64 {
+	return ((pc >> 2) ^ fold(hist, tageHistLens[table], t.tableMask) ^ uint64(table)*0x9e37) & t.tableMask
+}
+
+func (t *tage) tagOf(pc uint64, hist uint64, table int) uint16 {
+	return uint16(((pc >> 2) ^ fold(hist>>1, tageHistLens[table], 0xffff) ^ uint64(table)) & 0xffff)
+}
+
+// predict returns the direction and which table provided it (-1 for
+// the bimodal base).
+func (t *tage) predict(pc uint64, hist uint64) (taken bool, provider int) {
+	for table := NumTageTables - 1; table >= 0; table-- {
+		e := &t.tables[table][t.index(pc, hist, table)]
+		if e.valid && e.tag == t.tagOf(pc, hist, table) {
+			return e.ctr >= 0, table
+		}
+	}
+	return t.base[(pc>>2)&t.baseMask] >= 2, -1
+}
+
+// update trains the predictor with the actual outcome under the given
+// (pre-branch) history.
+func (t *tage) update(pc uint64, hist uint64, taken bool) {
+	predTaken, provider := t.predict(pc, hist)
+	correct := predTaken == taken
+
+	if provider >= 0 {
+		e := &t.tables[provider][t.index(pc, hist, provider)]
+		if taken && e.ctr < 3 {
+			e.ctr++
+		}
+		if !taken && e.ctr > -4 {
+			e.ctr--
+		}
+		if correct && e.useful < 3 {
+			e.useful++
+		}
+		if !correct && e.useful > 0 {
+			e.useful--
+		}
+	} else {
+		idx := (pc >> 2) & t.baseMask
+		if taken {
+			t.base[idx] = satInc(t.base[idx])
+		} else {
+			t.base[idx] = satDec(t.base[idx])
+		}
+	}
+
+	// Allocate in a longer-history table on misprediction.
+	if !correct && provider < NumTageTables-1 {
+		t.allocClock++
+		start := provider + 1
+		for table := start; table < NumTageTables; table++ {
+			e := &t.tables[table][t.index(pc, hist, table)]
+			if !e.valid || e.useful == 0 {
+				*e = tageEntry{tag: t.tagOf(pc, hist, table), ctr: ctrInit(taken), valid: true}
+				return
+			}
+		}
+		// All candidates useful: age one deterministically.
+		victim := start + int(t.allocClock)%(NumTageTables-start)
+		e := &t.tables[victim][t.index(pc, hist, victim)]
+		if e.useful > 0 {
+			e.useful--
+		}
+	}
+}
+
+func ctrInit(taken bool) int8 {
+	if taken {
+		return 0
+	}
+	return -1
+}

@@ -1,0 +1,182 @@
+package branch
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func tageCfg() Config {
+	c := small()
+	c.Predictor = PredictorTAGE
+	return c
+}
+
+func TestTAGELearnsBias(t *testing.T) {
+	u := New(tageCfg())
+	pc := uint64(0x1000)
+	for i := 0; i < 20; i++ {
+		u.UpdateCond(pc, true)
+	}
+	if !u.PredictCond(pc) {
+		t.Error("always-taken branch predicted not-taken")
+	}
+}
+
+func TestTAGELearnsAlternation(t *testing.T) {
+	u := New(tageCfg())
+	pc := uint64(0x2000)
+	taken := false
+	for i := 0; i < 500; i++ {
+		u.UpdateCond(pc, taken)
+		taken = !taken
+	}
+	correct := 0
+	for i := 0; i < 100; i++ {
+		if u.PredictCond(pc) == taken {
+			correct++
+		}
+		u.UpdateCond(pc, taken)
+		taken = !taken
+	}
+	if correct < 90 {
+		t.Errorf("alternating pattern: %d/100 correct", correct)
+	}
+}
+
+func TestTAGELearnsLongPattern(t *testing.T) {
+	// Period-7 pattern: invisible to a bimodal, hard for short-history
+	// gshare, learnable by TAGE's longer tables.
+	pattern := []bool{true, true, false, true, false, false, true}
+	u := New(tageCfg())
+	pc := uint64(0x3000)
+	for i := 0; i < 3000; i++ {
+		u.UpdateCond(pc, pattern[i%len(pattern)])
+	}
+	correct := 0
+	for i := 3000; i < 3200; i++ {
+		want := pattern[i%len(pattern)]
+		if u.PredictCond(pc) == want {
+			correct++
+		}
+		u.UpdateCond(pc, want)
+	}
+	if correct < 170 {
+		t.Errorf("period-7 pattern: %d/200 correct", correct)
+	}
+}
+
+func TestTAGEBeatsTournamentOnLongPatterns(t *testing.T) {
+	pattern := []bool{true, true, true, false, true, false, true, true, false, false, true}
+	score := func(cfg Config) int {
+		u := New(cfg)
+		pcs := []uint64{0x100, 0x204, 0x308}
+		for i := 0; i < 4000; i++ {
+			for _, pc := range pcs {
+				u.UpdateCond(pc, pattern[i%len(pattern)])
+			}
+		}
+		correct := 0
+		for i := 4000; i < 4500; i++ {
+			want := pattern[i%len(pattern)]
+			for _, pc := range pcs {
+				if u.PredictCond(pc) == want {
+					correct++
+				}
+				u.UpdateCond(pc, want)
+			}
+		}
+		return correct
+	}
+	tage := score(tageCfg())
+	tour := score(small())
+	if tage < tour {
+		t.Errorf("TAGE (%d) did not beat tournament (%d) on a period-11 pattern", tage, tour)
+	}
+}
+
+func TestTAGECloneIndependence(t *testing.T) {
+	u := New(tageCfg())
+	for i := 0; i < 200; i++ {
+		u.UpdateCond(uint64(0x1000+(i%13)*4), i%3 == 0)
+	}
+	c := u.Clone()
+	for i := 0; i < 100; i++ {
+		pc := uint64(0x1000 + (i%13)*4)
+		if u.PredictCond(pc) != c.PredictCond(pc) {
+			t.Fatal("clone diverges")
+		}
+	}
+	for i := 0; i < 100; i++ {
+		c.UpdateCond(0x1000, true)
+	}
+	// Original must be unaffected by heavy clone training. Compare a
+	// fresh clone of the original against the original on all PCs.
+	f := u.Clone()
+	for i := 0; i < 13; i++ {
+		pc := uint64(0x1000 + i*4)
+		if u.PredictCond(pc) != f.PredictCond(pc) {
+			t.Fatal("original perturbed by clone updates")
+		}
+	}
+}
+
+func TestTAGESpecHistoryConsistent(t *testing.T) {
+	u := New(tageCfg())
+	for i := 0; i < 100; i++ {
+		u.UpdateCond(0x400, i%2 == 0)
+	}
+	for pc := uint64(0x400); pc < 0x440; pc += 4 {
+		spec, _ := u.PredictCondSpec(pc, u.SpecHistory())
+		if u.PredictCond(pc) != spec {
+			t.Fatalf("PredictCond and PredictCondSpec disagree at %#x", pc)
+		}
+	}
+}
+
+func TestPerfectPredictor(t *testing.T) {
+	cfg := small()
+	cfg.Predictor = PredictorPerfect
+	u := New(cfg)
+	none := isa.RegNone
+	br := isa.Inst{Op: isa.OpBeq, Rd: none, Rs1: isa.A0, Rs2: isa.X0, Rs3: none, Target: 0x2000}
+	// Even the very first, coldest prediction is correct, both ways.
+	if p := u.PredictAndUpdate(0x1000, br, true, 0x2000); p.Mispredicted || !p.Taken {
+		t.Errorf("perfect taken prediction = %+v", p)
+	}
+	if p := u.PredictAndUpdate(0x1000, br, false, 0x1004); p.Mispredicted || p.Taken {
+		t.Errorf("perfect not-taken prediction = %+v", p)
+	}
+	ind := isa.Inst{Op: isa.OpJalr, Rd: isa.X0, Rs1: isa.T0, Rs2: none, Rs3: none}
+	if p := u.PredictAndUpdate(0x1000, ind, true, 0xabc0); p.Mispredicted || p.Target != 0xabc0 {
+		t.Errorf("perfect indirect prediction = %+v", p)
+	}
+}
+
+func TestPredictorKindNames(t *testing.T) {
+	if PredictorTournament.String() != "tournament" ||
+		PredictorTAGE.String() != "tage" ||
+		PredictorPerfect.String() != "perfect" {
+		t.Error("predictor names wrong")
+	}
+	if PredictorKind(9).String() != "unknown" {
+		t.Error("unknown kind name")
+	}
+}
+
+func TestFold(t *testing.T) {
+	if fold(0, 16, 0xff) != 0 {
+		t.Error("fold(0) != 0")
+	}
+	if fold(0xabcd, 16, 0) != 0 {
+		t.Error("fold with zero mask != 0")
+	}
+	// Folding 16 bits into 8: the two bytes xor together.
+	if got := fold(0xabcd, 16, 0xff); got != (0xab ^ 0xcd) {
+		t.Errorf("fold = %#x", got)
+	}
+	// Length mask applies before folding.
+	if got := fold(0xffff_abcd, 16, 0xff); got != (0xab ^ 0xcd) {
+		t.Errorf("fold with long history = %#x", got)
+	}
+}

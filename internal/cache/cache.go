@@ -1,0 +1,449 @@
+// Package cache implements the memory hierarchy of the performance
+// simulator: set-associative, LRU, write-back/write-allocate caches in
+// a three-level inclusive hierarchy (split L1I/L1D, unified private L2,
+// LLC slice) backed by a fixed-latency DRAM model.
+//
+// Every access is tagged correct-path or wrong-path. Wrong-path
+// accesses update cache state exactly like correct-path ones — that is
+// the whole phenomenon under study: wrong-path loads can prefetch data
+// for the converging correct path (positive interference) or evict
+// lines the correct path still needs (negative interference). Hit/miss
+// statistics are kept separately per path so the experiments can report
+// the paper's Table III metrics (wrong-path L2 misses).
+package cache
+
+import "fmt"
+
+// Config sizes one cache level.
+type Config struct {
+	Name      string
+	SizeBytes int
+	Ways      int
+	LineBytes int
+	// HitLatency is the load-to-use latency of a hit in this level,
+	// in cycles, measured from the start of the access.
+	HitLatency int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0:
+		return fmt.Errorf("cache %s: non-positive geometry", c.Name)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	case c.SizeBytes%(c.Ways*c.LineBytes) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible by ways*line", c.Name, c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.Ways * c.LineBytes)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// PathStats counts accesses and misses for one path kind.
+type PathStats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses (0 when idle).
+func (s PathStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// LevelStats aggregates one level's counters.
+type LevelStats struct {
+	Correct    PathStats
+	Wrong      PathStats
+	Writebacks uint64
+}
+
+// Total returns combined correct+wrong path counters.
+func (s LevelStats) Total() PathStats {
+	return PathStats{
+		Accesses: s.Correct.Accesses + s.Wrong.Accesses,
+		Misses:   s.Correct.Misses + s.Wrong.Misses,
+	}
+}
+
+type line struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	lastUse uint64
+}
+
+// Level is one set-associative cache.
+type Level struct {
+	cfg       Config
+	sets      int
+	setMask   uint64
+	lineShift uint
+	lines     []line // sets*ways, set-major
+	useClock  uint64 // global LRU counter (deterministic)
+
+	Stats LevelStats
+}
+
+// NewLevel builds one cache level; the configuration must be valid.
+func NewLevel(cfg Config) *Level {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	return &Level{
+		cfg:       cfg,
+		sets:      sets,
+		setMask:   uint64(sets - 1),
+		lineShift: shift,
+		lines:     make([]line, sets*cfg.Ways),
+	}
+}
+
+// Config returns the level's configuration.
+func (l *Level) Config() Config { return l.cfg }
+
+func (l *Level) set(addr uint64) []line {
+	idx := int((addr >> l.lineShift) & l.setMask)
+	return l.lines[idx*l.cfg.Ways : (idx+1)*l.cfg.Ways]
+}
+
+func (l *Level) tag(addr uint64) uint64 { return addr >> l.lineShift }
+
+// lookup probes for addr; on hit it refreshes LRU (and dirtiness for
+// writes) and returns true.
+func (l *Level) lookup(addr uint64, write bool) bool {
+	tag := l.tag(addr)
+	set := l.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			l.useClock++
+			set[i].lastUse = l.useClock
+			if write {
+				set[i].dirty = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// fill inserts the line containing addr, evicting LRU if needed.
+// It returns whether a dirty line was evicted (for writeback counting).
+func (l *Level) fill(addr uint64, write bool) (evicted uint64, wasDirty, hadVictim bool) {
+	tag := l.tag(addr)
+	set := l.set(addr)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			goto place
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	hadVictim = true
+	evicted = set[victim].tag << l.lineShift
+	wasDirty = set[victim].dirty
+place:
+	l.useClock++
+	set[victim] = line{tag: tag, valid: true, dirty: write, lastUse: l.useClock}
+	return evicted, wasDirty, hadVictim
+}
+
+// Contains probes without touching LRU state or statistics; used by
+// tests and by the experiments' cache-content assertions.
+func (l *Level) Contains(addr uint64) bool {
+	tag := l.tag(addr)
+	for _, ln := range l.set(addr) {
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates all lines and resets LRU state (not statistics).
+func (l *Level) Flush() {
+	for i := range l.lines {
+		l.lines[i] = line{}
+	}
+}
+
+// HierarchyConfig configures the full memory hierarchy.
+type HierarchyConfig struct {
+	L1I Config
+	L1D Config
+	L2  Config
+	LLC Config
+	// ITLB/DTLB configure address translation; zero Entries disables
+	// the respective TLB.
+	ITLB TLBConfig
+	DTLB TLBConfig
+	// MemLatency is the DRAM access latency in cycles added after an
+	// LLC miss.
+	MemLatency int
+	// MemGapCycles models the downscaled per-core DRAM bandwidth the
+	// paper configures: each line transfer occupies the channel for
+	// this many cycles, so bursts of misses (including wrong-path
+	// prefetch bursts) queue behind each other. 0 disables the limit.
+	MemGapCycles int
+	// NextLinePrefetch enables a simple next-line prefetcher that, on
+	// every L2 demand miss, fills the following line into L2 (and LLC).
+	NextLinePrefetch bool
+}
+
+// DefaultHierarchyConfig returns the Golden-Cove-like hierarchy used by
+// the experiments: 32 KB L1I, 48 KB L1D, 1.25 MB L2, a 3 MB LLC slice
+// (per-core share, as the paper downscales), and ~230-cycle memory.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:              Config{Name: "L1I", SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, HitLatency: 1},
+		L1D:              Config{Name: "L1D", SizeBytes: 48 << 10, Ways: 12, LineBytes: 64, HitLatency: 5},
+		L2:               Config{Name: "L2", SizeBytes: 1280 << 10, Ways: 10, LineBytes: 64, HitLatency: 15},
+		LLC:              Config{Name: "LLC", SizeBytes: 3 << 20, Ways: 12, LineBytes: 64, HitLatency: 45},
+		ITLB:             TLBConfig{Name: "ITLB", Entries: 128, Ways: 8, PageBits: 12, WalkLatency: 20},
+		DTLB:             TLBConfig{Name: "DTLB", Entries: 96, Ways: 6, PageBits: 12, WalkLatency: 30},
+		MemLatency:       230,
+		MemGapCycles:     4, // ~16 B/cycle per core share of DRAM bandwidth
+		NextLinePrefetch: true,
+	}
+}
+
+// Hierarchy is the three-level memory hierarchy.
+type Hierarchy struct {
+	cfg  HierarchyConfig
+	l1i  *Level
+	l1d  *Level
+	l2   *Level
+	llc  *Level
+	itlb *TLB // nil when disabled
+	dtlb *TLB // nil when disabled
+
+	// MemAccesses counts DRAM accesses (LLC misses).
+	MemAccesses uint64
+	// WrongMemAccesses counts DRAM accesses made by wrong-path requests.
+	WrongMemAccesses uint64
+	// Prefetches counts next-line prefetch fills issued.
+	Prefetches uint64
+	// MemQueueCycles accumulates cycles spent waiting for the DRAM
+	// channel (bandwidth contention).
+	MemQueueCycles uint64
+
+	memNextFree uint64
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		cfg:  cfg,
+		l1i:  NewLevel(cfg.L1I),
+		l1d:  NewLevel(cfg.L1D),
+		l2:   NewLevel(cfg.L2),
+		llc:  NewLevel(cfg.LLC),
+		itlb: NewTLB(cfg.ITLB),
+		dtlb: NewTLB(cfg.DTLB),
+	}
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// ResetStats clears every statistic counter and the DRAM channel clock
+// while keeping all cache/TLB *content* — used at the end of a
+// functional-warming phase so measured statistics cover only the
+// detailed-simulation window.
+func (h *Hierarchy) ResetStats() {
+	for _, l := range []*Level{h.l1i, h.l1d, h.l2, h.llc} {
+		l.Stats = LevelStats{}
+	}
+	if h.itlb != nil {
+		h.itlb.Stats = LevelStats{}
+	}
+	if h.dtlb != nil {
+		h.dtlb.Stats = LevelStats{}
+	}
+	h.MemAccesses = 0
+	h.WrongMemAccesses = 0
+	h.Prefetches = 0
+	h.MemQueueCycles = 0
+	h.memNextFree = 0
+}
+
+// L1I returns the instruction cache level (for stats and tests).
+func (h *Hierarchy) L1I() *Level { return h.l1i }
+
+// L1D returns the data cache level.
+func (h *Hierarchy) L1D() *Level { return h.l1d }
+
+// L2 returns the unified second level.
+func (h *Hierarchy) L2() *Level { return h.l2 }
+
+// LLC returns the last-level cache slice.
+func (h *Hierarchy) LLC() *Level { return h.llc }
+
+// ITLB returns the instruction TLB (nil when disabled).
+func (h *Hierarchy) ITLB() *TLB { return h.itlb }
+
+// DTLB returns the data TLB (nil when disabled).
+func (h *Hierarchy) DTLB() *TLB { return h.dtlb }
+
+func record(l *Level, wrongPath, miss bool) {
+	s := &l.Stats.Correct
+	if wrongPath {
+		s = &l.Stats.Wrong
+	}
+	s.Accesses++
+	if miss {
+		s.Misses++
+	}
+}
+
+// memAccess charges one DRAM line transfer starting no earlier than
+// cycle at, honoring the channel bandwidth limit, and returns the
+// total DRAM latency including any queueing delay.
+func (h *Hierarchy) memAccess(at uint64, wrongPath bool) int {
+	h.MemAccesses++
+	if wrongPath {
+		h.WrongMemAccesses++
+	}
+	lat := h.cfg.MemLatency
+	if h.cfg.MemGapCycles > 0 {
+		start := at
+		if h.memNextFree > start {
+			start = h.memNextFree
+			queued := start - at
+			h.MemQueueCycles += queued
+			lat += int(queued)
+		}
+		h.memNextFree = start + uint64(h.cfg.MemGapCycles)
+	}
+	return lat
+}
+
+// accessL2Down looks up L2 then LLC then memory, filling on the way
+// back. It returns the additional latency beyond the L1 miss itself.
+// at is the cycle the L2 request is issued (for bandwidth accounting).
+func (h *Hierarchy) accessL2Down(addr uint64, at uint64, write, wrongPath bool) int {
+	l2Hit := h.l2.lookup(addr, write)
+	record(h.l2, wrongPath, !l2Hit)
+	if l2Hit {
+		return h.l2.cfg.HitLatency
+	}
+	llcHit := h.llc.lookup(addr, write)
+	record(h.llc, wrongPath, !llcHit)
+	lat := h.llc.cfg.HitLatency
+	if !llcHit {
+		lat += h.memAccess(at+uint64(lat), wrongPath)
+		if _, dirty, had := h.llc.fill(addr, false); had && dirty {
+			h.llc.Stats.Writebacks++
+		}
+	}
+	if _, dirty, had := h.l2.fill(addr, write); had && dirty {
+		h.l2.Stats.Writebacks++
+	}
+	if h.cfg.NextLinePrefetch {
+		next := addr + uint64(h.l2.cfg.LineBytes)
+		if !h.l2.Contains(next) {
+			h.Prefetches++
+			if !h.llc.Contains(next) {
+				// Prefetches that miss the LLC consume DRAM bandwidth
+				// but add no latency to the triggering demand miss.
+				h.memAccess(at+uint64(lat), wrongPath)
+				h.llc.fill(next, false)
+			}
+			h.l2.fill(next, false)
+		}
+	}
+	return lat
+}
+
+// AccessI performs an instruction-fetch access for pc at the given
+// cycle and returns the total fetch latency in cycles.
+func (h *Hierarchy) AccessI(pc uint64, at uint64, wrongPath bool) int {
+	var walk int
+	if h.itlb != nil {
+		walk = h.itlb.Access(pc, wrongPath)
+	}
+	if walk > 0 {
+		return walk + h.AccessIPostTranslate(pc, at+uint64(walk), wrongPath)
+	}
+	return h.AccessIPostTranslate(pc, at, wrongPath)
+}
+
+// AccessIPostTranslate is the fetch access after address translation.
+func (h *Hierarchy) AccessIPostTranslate(pc uint64, at uint64, wrongPath bool) int {
+	hit := h.l1i.lookup(pc, false)
+	record(h.l1i, wrongPath, !hit)
+	if hit {
+		return h.l1i.cfg.HitLatency
+	}
+	lat := h.l1i.cfg.HitLatency + h.accessL2Down(pc, at, false, wrongPath)
+	if _, dirty, had := h.l1i.fill(pc, false); had && dirty {
+		h.l1i.Stats.Writebacks++
+	}
+	return lat
+}
+
+// Load performs a data load for addr issued at the given cycle and
+// returns the load-to-use latency in cycles.
+func (h *Hierarchy) Load(addr uint64, at uint64, wrongPath bool) int {
+	var walk int
+	if h.dtlb != nil {
+		walk = h.dtlb.Access(addr, wrongPath)
+	}
+	if walk > 0 {
+		return walk + h.loadPostTranslate(addr, at+uint64(walk), wrongPath)
+	}
+	return h.loadPostTranslate(addr, at, wrongPath)
+}
+
+func (h *Hierarchy) loadPostTranslate(addr uint64, at uint64, wrongPath bool) int {
+	hit := h.l1d.lookup(addr, false)
+	record(h.l1d, wrongPath, !hit)
+	if hit {
+		return h.l1d.cfg.HitLatency
+	}
+	lat := h.l1d.cfg.HitLatency + h.accessL2Down(addr, at, false, wrongPath)
+	if _, dirty, had := h.l1d.fill(addr, false); had && dirty {
+		h.l1d.Stats.Writebacks++
+	}
+	return lat
+}
+
+// Store performs a committed data store for addr (write-allocate,
+// write-back) at the given cycle. The returned latency is
+// informational; committed stores drain from the store buffer off the
+// critical path.
+func (h *Hierarchy) Store(addr uint64, at uint64, wrongPath bool) int {
+	var walk int
+	if h.dtlb != nil {
+		walk = h.dtlb.Access(addr, wrongPath)
+	}
+	hit := h.l1d.lookup(addr, true)
+	record(h.l1d, wrongPath, !hit)
+	if hit {
+		return walk + h.l1d.cfg.HitLatency
+	}
+	lat := walk + h.l1d.cfg.HitLatency + h.accessL2Down(addr, at, true, wrongPath)
+	if _, dirty, had := h.l1d.fill(addr, true); had && dirty {
+		h.l1d.Stats.Writebacks++
+	}
+	return lat
+}
+
+// L1DHitLatency returns the L1D hit latency; the instruction
+// reconstruction technique charges this for wrong-path memory
+// operations whose addresses are unknown (the paper: "each memory
+// operation is modeled as a cache hit").
+func (h *Hierarchy) L1DHitLatency() int { return h.cfg.L1D.HitLatency }

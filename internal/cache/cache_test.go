@@ -1,0 +1,256 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tiny() Config {
+	return Config{Name: "T", SizeBytes: 1024, Ways: 2, LineBytes: 64, HitLatency: 3}
+	// 8 sets × 2 ways × 64 B.
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := tiny()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Name: "a", SizeBytes: 0, Ways: 1, LineBytes: 64},
+		{Name: "b", SizeBytes: 1024, Ways: 2, LineBytes: 48},     // not power of two
+		{Name: "c", SizeBytes: 1000, Ways: 2, LineBytes: 64},     // not divisible
+		{Name: "d", SizeBytes: 1024 * 3, Ways: 2, LineBytes: 64}, // sets not power of two
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %s validated", c.Name)
+		}
+	}
+}
+
+func TestLevelHitMiss(t *testing.T) {
+	l := NewLevel(tiny())
+	if l.lookup(0x1000, false) {
+		t.Error("cold lookup hit")
+	}
+	l.fill(0x1000, false)
+	if !l.lookup(0x1000, false) {
+		t.Error("filled line missed")
+	}
+	if !l.lookup(0x103f, false) {
+		t.Error("same line, different offset missed")
+	}
+	if l.lookup(0x1040, false) {
+		t.Error("next line hit")
+	}
+}
+
+func TestLevelLRUEviction(t *testing.T) {
+	l := NewLevel(tiny()) // 2 ways
+	// Three lines mapping to the same set (stride = sets*line = 512).
+	a, b, c := uint64(0), uint64(512), uint64(1024)
+	l.fill(a, false)
+	l.fill(b, false)
+	l.lookup(a, false) // refresh a: b becomes LRU
+	l.fill(c, false)   // evicts b
+	if !l.Contains(a) || !l.Contains(c) {
+		t.Error("wrong line evicted")
+	}
+	if l.Contains(b) {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestLevelWritebackCounting(t *testing.T) {
+	l := NewLevel(tiny())
+	l.fill(0, true) // dirty
+	l.fill(512, false)
+	if evicted, dirty, had := l.fill(1024, false); !had || !dirty || evicted != 0 {
+		t.Errorf("evict = %#x dirty=%v had=%v, want dirty eviction of 0", evicted, dirty, had)
+	}
+}
+
+func TestLevelFlush(t *testing.T) {
+	l := NewLevel(tiny())
+	l.fill(0x40, false)
+	l.Flush()
+	if l.Contains(0x40) {
+		t.Error("flush left lines valid")
+	}
+}
+
+func hier() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:        Config{Name: "L1I", SizeBytes: 1024, Ways: 2, LineBytes: 64, HitLatency: 1},
+		L1D:        Config{Name: "L1D", SizeBytes: 1024, Ways: 2, LineBytes: 64, HitLatency: 4},
+		L2:         Config{Name: "L2", SizeBytes: 4096, Ways: 4, LineBytes: 64, HitLatency: 12},
+		LLC:        Config{Name: "LLC", SizeBytes: 16384, Ways: 4, LineBytes: 64, HitLatency: 40},
+		MemLatency: 200,
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(hier())
+	addr := uint64(0x10000)
+	// Cold: full miss. Each level's HitLatency is measured from the
+	// start of the access, so a full miss costs L1-hit + LLC-hit +
+	// memory (the L2 lookup time is subsumed by the LLC figure).
+	want := 4 + 40 + 200
+	if got := h.Load(addr, 0, false); got != want {
+		t.Errorf("cold load latency = %d, want %d", got, want)
+	}
+	// Hot: L1 hit.
+	if got := h.Load(addr, 0, false); got != 4 {
+		t.Errorf("hot load latency = %d", got)
+	}
+	// Evict from L1 (same set) but keep in L2: L1 miss, L2 hit.
+	h.Load(addr+512, 0, false)
+	h.Load(addr+1024, 0, false)
+	if got := h.Load(addr, 0, false); got != 4+12 {
+		t.Errorf("L2-hit latency = %d, want %d", got, 4+12)
+	}
+}
+
+func TestHierarchyStatsSplit(t *testing.T) {
+	h := NewHierarchy(hier())
+	h.Load(0x1000, 0, false)
+	h.Load(0x2000, 0, true)
+	if h.L1D().Stats.Correct.Accesses != 1 || h.L1D().Stats.Correct.Misses != 1 {
+		t.Errorf("correct stats = %+v", h.L1D().Stats.Correct)
+	}
+	if h.L1D().Stats.Wrong.Accesses != 1 || h.L1D().Stats.Wrong.Misses != 1 {
+		t.Errorf("wrong stats = %+v", h.L1D().Stats.Wrong)
+	}
+	if h.MemAccesses != 2 || h.WrongMemAccesses != 1 {
+		t.Errorf("mem accesses = %d/%d", h.MemAccesses, h.WrongMemAccesses)
+	}
+	tot := h.L1D().Stats.Total()
+	if tot.Accesses != 2 || tot.Misses != 2 {
+		t.Errorf("total = %+v", tot)
+	}
+	if tot.MissRate() != 1 {
+		t.Errorf("miss rate = %f", tot.MissRate())
+	}
+}
+
+func TestWrongPathPrefetchEffect(t *testing.T) {
+	h := NewHierarchy(hier())
+	addr := uint64(0x40000)
+	// A wrong-path access brings the line in...
+	h.Load(addr, 0, true)
+	// ...and the later correct-path access hits: the central positive
+	// interference phenomenon.
+	if got := h.Load(addr, 0, false); got != 4 {
+		t.Errorf("correct-path latency after WP prefetch = %d", got)
+	}
+	if h.L1D().Stats.Correct.Misses != 0 {
+		t.Error("correct path missed despite WP prefetch")
+	}
+}
+
+func TestInstructionPath(t *testing.T) {
+	h := NewHierarchy(hier())
+	pc := uint64(0x1000)
+	if got := h.AccessI(pc, 0, false); got != 1+40+200 {
+		t.Errorf("cold fetch latency = %d", got)
+	}
+	if got := h.AccessI(pc, 0, false); got != 1 {
+		t.Errorf("hot fetch latency = %d", got)
+	}
+	if h.L1D().Stats.Total().Accesses != 0 {
+		t.Error("instruction fetch touched L1D")
+	}
+}
+
+func TestStoreWriteAllocate(t *testing.T) {
+	h := NewHierarchy(hier())
+	addr := uint64(0x5000)
+	h.Store(addr, 0, false)
+	// The store allocated the line; a load now hits.
+	if got := h.Load(addr, 0, false); got != 4 {
+		t.Errorf("load after store latency = %d", got)
+	}
+}
+
+func TestNextLinePrefetch(t *testing.T) {
+	cfg := hier()
+	cfg.NextLinePrefetch = true
+	h := NewHierarchy(cfg)
+	h.Load(0x8000, 0, false)
+	if h.Prefetches == 0 {
+		t.Fatal("no prefetch issued")
+	}
+	// The next line is now in L2: an L1-missing access pays only L2 hit.
+	if got := h.Load(0x8040, 0, false); got != 4+12 {
+		t.Errorf("prefetched-line latency = %d, want %d", got, 4+12)
+	}
+}
+
+func TestMemBandwidthQueue(t *testing.T) {
+	cfg := hier()
+	cfg.MemGapCycles = 10
+	h := NewHierarchy(cfg)
+	base := 4 + 40 + 200
+	// First miss at cycle 0: no queueing.
+	if got := h.Load(0x100000, 0, false); got != base {
+		t.Errorf("first miss = %d", got)
+	}
+	// Second miss issued at the same cycle queues behind the first.
+	if got := h.Load(0x200000, 0, false); got != base+10 {
+		t.Errorf("second concurrent miss = %d, want %d", got, base+10)
+	}
+	if h.MemQueueCycles == 0 {
+		t.Error("no queue cycles recorded")
+	}
+	// A miss far in the future sees an idle channel.
+	if got := h.Load(0x300000, 1_000_000, false); got != base {
+		t.Errorf("late miss = %d", got)
+	}
+}
+
+func TestInclusionOnFill(t *testing.T) {
+	h := NewHierarchy(hier())
+	addr := uint64(0x9000)
+	h.Load(addr, 0, false)
+	if !h.L1D().Contains(addr) || !h.L2().Contains(addr) || !h.LLC().Contains(addr) {
+		t.Error("fill did not populate all levels")
+	}
+}
+
+// TestQuickLookupAfterFill: any filled address is Contained until
+// enough conflicting fills evict it; immediately after fill it must hit.
+func TestQuickLookupAfterFill(t *testing.T) {
+	l := NewLevel(Config{Name: "q", SizeBytes: 8192, Ways: 4, LineBytes: 64, HitLatency: 1})
+	f := func(addr uint64) bool {
+		addr %= 1 << 32
+		l.fill(addr, false)
+		return l.Contains(addr) && l.lookup(addr, false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSetBounded: the number of distinct resident lines mapping to
+// one set never exceeds the way count.
+func TestQuickSetBounded(t *testing.T) {
+	cfg := Config{Name: "q", SizeBytes: 2048, Ways: 2, LineBytes: 64, HitLatency: 1}
+	l := NewLevel(cfg)
+	sets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	stride := uint64(sets * cfg.LineBytes)
+	f := func(ks []uint8) bool {
+		for _, k := range ks {
+			l.fill(uint64(k)*stride, false) // all map to set 0
+		}
+		resident := 0
+		for k := 0; k < 256; k++ {
+			if l.Contains(uint64(k) * stride) {
+				resident++
+			}
+		}
+		return resident <= cfg.Ways
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package cache
+
+import "fmt"
+
+// TLBConfig sizes one translation lookaside buffer. A zero Entries
+// disables the TLB (translation is then free).
+type TLBConfig struct {
+	Name    string
+	Entries int
+	Ways    int
+	// PageBits is log2 of the page size (12 = 4 KB).
+	PageBits int
+	// WalkLatency is the page-walk penalty in cycles charged on a miss.
+	WalkLatency int
+}
+
+// Validate reports configuration errors (a zero config is valid:
+// disabled).
+func (c TLBConfig) Validate() error {
+	if c.Entries == 0 {
+		return nil
+	}
+	switch {
+	case c.Entries < 0 || c.Ways <= 0 || c.Entries%c.Ways != 0:
+		return fmt.Errorf("tlb %s: bad geometry %d/%d", c.Name, c.Entries, c.Ways)
+	case c.PageBits <= 0 || c.WalkLatency < 0:
+		return fmt.Errorf("tlb %s: bad page/walk parameters", c.Name)
+	}
+	sets := c.Entries / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("tlb %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+type tlbEntry struct {
+	vpn     uint64
+	valid   bool
+	lastUse uint64
+}
+
+// TLB is a set-associative translation buffer. The paper lists TLB
+// accesses alongside data-cache accesses as the wrong-path effects that
+// cannot be modeled without addresses: wrong-path memory operations
+// with known addresses warm (or pollute) the TLB for the correct path
+// exactly like they do the caches.
+type TLB struct {
+	cfg      TLBConfig
+	setMask  uint64
+	entries  []tlbEntry
+	useClock uint64
+
+	Stats LevelStats
+}
+
+// NewTLB builds a TLB; nil is returned for a disabled config.
+func NewTLB(cfg TLBConfig) *TLB {
+	if cfg.Entries == 0 {
+		return nil
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &TLB{
+		cfg:     cfg,
+		setMask: uint64(cfg.Entries/cfg.Ways - 1),
+		entries: make([]tlbEntry, cfg.Entries),
+	}
+}
+
+// Config returns the TLB configuration.
+func (t *TLB) Config() TLBConfig { return t.cfg }
+
+// Access translates addr, returning the extra latency (0 on hit, the
+// walk latency on a miss, which also fills the entry).
+func (t *TLB) Access(addr uint64, wrongPath bool) int {
+	vpn := addr >> uint(t.cfg.PageBits)
+	idx := int(vpn&t.setMask) * t.cfg.Ways
+	set := t.entries[idx : idx+t.cfg.Ways]
+	s := &t.Stats.Correct
+	if wrongPath {
+		s = &t.Stats.Wrong
+	}
+	s.Accesses++
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			t.useClock++
+			set[i].lastUse = t.useClock
+			return 0
+		}
+	}
+	s.Misses++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	t.useClock++
+	set[victim] = tlbEntry{vpn: vpn, valid: true, lastUse: t.useClock}
+	return t.cfg.WalkLatency
+}
+
+// Contains probes without touching state or statistics.
+func (t *TLB) Contains(addr uint64) bool {
+	vpn := addr >> uint(t.cfg.PageBits)
+	idx := int(vpn&t.setMask) * t.cfg.Ways
+	for _, e := range t.entries[idx : idx+t.cfg.Ways] {
+		if e.valid && e.vpn == vpn {
+			return true
+		}
+	}
+	return false
+}

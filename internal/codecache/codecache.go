@@ -1,0 +1,49 @@
+// Package codecache implements the code cache the paper introduces
+// between the functional and performance simulator (§III-A): a table,
+// indexed by instruction address, of the decode information of every
+// instruction the functional simulator has delivered so far. When the
+// performance model detects a branch misprediction it reconstructs the
+// wrong path out of this cache; a lookup miss ends the reconstruction
+// (the simulator then falls back to halting fetch until the branch
+// resolves).
+package codecache
+
+import "repro/internal/isa"
+
+// Cache maps instruction addresses to decode information.
+type Cache struct {
+	entries map[uint64]isa.Inst
+
+	// Statistics.
+	lookups uint64
+	misses  uint64
+}
+
+// New returns an empty code cache.
+func New() *Cache {
+	return &Cache{entries: make(map[uint64]isa.Inst)}
+}
+
+// Insert records the decode information for the instruction at pc.
+// Called for every correct-path instruction the performance simulator
+// consumes.
+func (c *Cache) Insert(pc uint64, in isa.Inst) {
+	c.entries[pc] = in
+}
+
+// Lookup returns the decode information for pc if the instruction has
+// been seen before.
+func (c *Cache) Lookup(pc uint64) (isa.Inst, bool) {
+	c.lookups++
+	in, ok := c.entries[pc]
+	if !ok {
+		c.misses++
+	}
+	return in, ok
+}
+
+// Len returns the number of distinct static instructions cached.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Stats returns lookup and miss counts of wrong-path reconstruction.
+func (c *Cache) Stats() (lookups, misses uint64) { return c.lookups, c.misses }

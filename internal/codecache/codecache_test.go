@@ -1,0 +1,44 @@
+package codecache
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestInsertLookup(t *testing.T) {
+	c := New()
+	in := isa.Inst{Op: isa.OpAdd, Rd: isa.A0, Rs1: isa.A1, Rs2: isa.A2, Rs3: isa.RegNone}
+	if _, ok := c.Lookup(0x1000); ok {
+		t.Error("empty cache hit")
+	}
+	c.Insert(0x1000, in)
+	got, ok := c.Lookup(0x1000)
+	if !ok || got != in {
+		t.Errorf("lookup = %+v, %v", got, ok)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	// Re-insert overwrites (same PC seen again).
+	in2 := isa.Inst{Op: isa.OpSub, Rd: isa.A0, Rs1: isa.A1, Rs2: isa.A2, Rs3: isa.RegNone}
+	c.Insert(0x1000, in2)
+	if got, _ := c.Lookup(0x1000); got != in2 {
+		t.Error("re-insert did not overwrite")
+	}
+	if c.Len() != 1 {
+		t.Error("re-insert grew the cache")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New()
+	c.Insert(0x100, isa.Nop)
+	c.Lookup(0x100) // hit
+	c.Lookup(0x200) // miss
+	c.Lookup(0x300) // miss
+	lookups, misses := c.Stats()
+	if lookups != 3 || misses != 2 {
+		t.Errorf("stats = %d/%d, want 3/2", lookups, misses)
+	}
+}

@@ -1,0 +1,172 @@
+// Package core implements the performance simulator's out-of-order core
+// timing model in the mechanistic, instruction-window-centric tradition
+// of Sniper (the simulator the paper builds on): every dynamic
+// instruction is pushed through fetch, dispatch, dependence-based issue,
+// execution on a functional unit (loads through the cache hierarchy)
+// and in-order commit, with explicit cycle accounting for the front-end
+// width, I-cache, branch prediction, ROB occupancy, issue width, FU
+// ports and commit width.
+//
+// On a branch misprediction the core either halts fetch until the
+// branch resolves (no wrong-path modeling) or obtains a wrong-path
+// instruction stream from the configured wrongpath.Policy and simulates
+// it through the same pipeline — wrong-path instructions access the
+// I-cache, occupy the speculative window and, when their addresses are
+// known, access the data-cache hierarchy, perturbing its state exactly
+// as the paper studies.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// FUConfig describes the functional units available for one instruction
+// class.
+type FUConfig struct {
+	// Count is the number of units (ports).
+	Count int
+	// Latency is the execution latency in cycles (loads use the cache
+	// hierarchy instead).
+	Latency int
+	// Pipelined units accept a new operation every cycle; unpipelined
+	// units (dividers) are busy for the full latency.
+	Pipelined bool
+}
+
+// Config parameterizes the core model.
+type Config struct {
+	// FetchWidth is the maximum instructions fetched per cycle.
+	FetchWidth int
+	// DispatchWidth is the maximum instructions renamed/dispatched into
+	// the ROB per cycle.
+	DispatchWidth int
+	// IssueWidth is the maximum instructions issued to execution per
+	// cycle.
+	IssueWidth int
+	// CommitWidth is the maximum instructions retired per cycle.
+	CommitWidth int
+
+	// ROBSize is the reorder-buffer capacity.
+	ROBSize int
+	// FrontendBuffer is the extra speculative-window allowance beyond
+	// the ROB ("one reorder buffer size worth of instructions plus the
+	// frontend pipeline buffers", §III-B).
+	FrontendBuffer int
+	// FetchToDispatch is the front-end pipeline depth in cycles.
+	FetchToDispatch int
+	// RedirectPenalty is the extra delay, after a mispredicted branch
+	// resolves, before fetch restarts on the correct path (squash and
+	// rename-state restore).
+	RedirectPenalty int
+
+	// StoreQueueSize bounds the store-to-load forwarding window.
+	StoreQueueSize int
+
+	// FUs maps instruction classes to functional units. Jump classes
+	// fall back to the branch unit; loads/stores use their ports with
+	// latency from the memory hierarchy.
+	FUs map[isa.Class]FUConfig
+
+	// BranchPred configures the branch prediction unit.
+	BranchPred branch.Config
+	// Hierarchy configures the cache hierarchy.
+	Hierarchy cache.HierarchyConfig
+}
+
+// DefaultConfig returns the Golden Cove (Alder Lake P-core)-like
+// configuration used throughout the experiments, mirroring the paper's
+// Table I scale: a 512-entry ROB, 6-wide front end, deep speculation,
+// and a downscaled per-core LLC slice.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:      6,
+		DispatchWidth:   6,
+		IssueWidth:      8,
+		CommitWidth:     8,
+		ROBSize:         512,
+		FrontendBuffer:  64,
+		FetchToDispatch: 10,
+		RedirectPenalty: 5,
+		StoreQueueSize:  56,
+		FUs: map[isa.Class]FUConfig{
+			isa.ClassALU:    {Count: 4, Latency: 1, Pipelined: true},
+			isa.ClassMul:    {Count: 1, Latency: 3, Pipelined: true},
+			isa.ClassDiv:    {Count: 1, Latency: 20, Pipelined: false},
+			isa.ClassFPAdd:  {Count: 2, Latency: 3, Pipelined: true},
+			isa.ClassFPMul:  {Count: 2, Latency: 4, Pipelined: true},
+			isa.ClassFPDiv:  {Count: 1, Latency: 15, Pipelined: false},
+			isa.ClassLoad:   {Count: 3, Latency: 0, Pipelined: true},
+			isa.ClassStore:  {Count: 2, Latency: 1, Pipelined: true},
+			isa.ClassBranch: {Count: 2, Latency: 1, Pipelined: true},
+		},
+		BranchPred: branch.DefaultConfig(),
+		Hierarchy:  cache.DefaultHierarchyConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.FetchWidth <= 0 || c.DispatchWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0:
+		return fmt.Errorf("core: non-positive pipeline width")
+	case c.ROBSize <= 0:
+		return fmt.Errorf("core: non-positive ROB size")
+	case c.FrontendBuffer < 0 || c.FetchToDispatch < 0 || c.RedirectPenalty < 0:
+		return fmt.Errorf("core: negative pipeline depth/penalty")
+	case c.StoreQueueSize <= 0:
+		return fmt.Errorf("core: non-positive store queue size")
+	}
+	for _, cl := range []isa.Class{
+		isa.ClassALU, isa.ClassMul, isa.ClassDiv, isa.ClassFPAdd,
+		isa.ClassFPMul, isa.ClassFPDiv, isa.ClassLoad, isa.ClassStore,
+		isa.ClassBranch,
+	} {
+		fu, ok := c.FUs[cl]
+		if !ok {
+			return fmt.Errorf("core: missing functional unit for class %v", cl)
+		}
+		if fu.Count <= 0 || fu.Latency < 0 {
+			return fmt.Errorf("core: bad functional unit for class %v", cl)
+		}
+	}
+	if err := c.Hierarchy.L1I.Validate(); err != nil {
+		return err
+	}
+	if err := c.Hierarchy.L1D.Validate(); err != nil {
+		return err
+	}
+	if err := c.Hierarchy.L2.Validate(); err != nil {
+		return err
+	}
+	if err := c.Hierarchy.LLC.Validate(); err != nil {
+		return err
+	}
+	if err := c.Hierarchy.ITLB.Validate(); err != nil {
+		return err
+	}
+	if err := c.Hierarchy.DTLB.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WPMaxLen returns the wrong-path length cap: ROB size plus front-end
+// buffers.
+func (c Config) WPMaxLen() int { return c.ROBSize + c.FrontendBuffer }
+
+// fuClass maps an instruction class to the class whose functional units
+// execute it.
+func fuClass(cl isa.Class) isa.Class {
+	switch cl {
+	case isa.ClassJump, isa.ClassJumpInd:
+		return isa.ClassBranch
+	case isa.ClassNop, isa.ClassSyscall, isa.ClassInvalid:
+		return isa.ClassALU
+	default:
+		return cl
+	}
+}

@@ -1,0 +1,564 @@
+package core
+
+import (
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/codecache"
+	"repro/internal/isa"
+	"repro/internal/queue"
+	"repro/internal/trace"
+	"repro/internal/wrongpath"
+)
+
+const invalidLine = ^uint64(0)
+
+// Stats holds the core-level counters of one simulation.
+type Stats struct {
+	// Instructions is the number of retired correct-path instructions.
+	Instructions uint64
+	// Cycles is the cycle of the last commit.
+	Cycles uint64
+
+	// Branch statistics (correct path).
+	CondBranches         uint64
+	CondMispredicted     uint64
+	IndirectJumps        uint64
+	IndirectMispredicted uint64
+	Returns              uint64
+	ReturnMispredicted   uint64
+	// Mispredicts is the total of all control mispredictions.
+	Mispredicts uint64
+
+	// Wrong-path statistics. WPFetched counts wrong-path instructions
+	// fetched before the triggering branch resolved; WPExecuted counts
+	// those that also began execution before resolution (the paper's
+	// Table II metric).
+	WPFetched  uint64
+	WPExecuted uint64
+	// WPLoads counts wrong-path loads executed; WPLoadsWithAddr those
+	// that carried a data address (and therefore accessed the cache).
+	WPLoads         uint64
+	WPLoadsWithAddr uint64
+
+	// LoadForwards counts loads satisfied by store-to-load forwarding.
+	LoadForwards uint64
+	// Serializations counts pipeline drains for environment calls.
+	Serializations uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// MPKI returns control mispredictions per kilo-instruction.
+func (s Stats) MPKI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(s.Mispredicts) / float64(s.Instructions)
+}
+
+// WPFraction returns wrong-path instructions executed relative to the
+// correct-path instruction count (Table II).
+func (s Stats) WPFraction() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.WPExecuted) / float64(s.Instructions)
+}
+
+type sqEntry struct {
+	addr uint64
+	size int
+	done uint64
+}
+
+// Core is the out-of-order core timing model.
+type Core struct {
+	cfg    Config
+	hier   *cache.Hierarchy
+	bp     *branch.Unit
+	code   *codecache.Cache
+	q      *queue.Queue
+	policy wrongpath.Policy
+	ctx    wrongpath.Context
+
+	// Fetch state.
+	fetchCycle     uint64
+	fetchedInCycle int
+	curFetchLine   uint64
+	lineMask       uint64
+	l1iHitLat      uint64
+
+	// Dispatch state (in-order, width-limited, ROB-occupancy-limited).
+	lastDispatch uint64
+	dispRing     []uint64
+	dispIdx      int
+	robRing      []uint64
+	robIdx       int
+
+	// Commit state (in-order, width-limited).
+	lastCommit uint64
+	commitRing []uint64
+	commitIdx  int
+
+	// Issue ports and functional units.
+	issuePorts []uint64
+	fuFree     [16][]uint64
+	fuLat      [16]uint64
+	fuPipe     [16]bool
+
+	// Register availability (by unified architectural register; the
+	// model dispenses with explicit renaming — the ROB ring provides the
+	// occupancy limit and write-after-write stalls do not exist because
+	// every writer simply advances the availability time).
+	regReady [isa.NumRegs]uint64
+
+	// Store queue for store-to-load forwarding.
+	storeQ []sqEntry
+	sqIdx  int
+	sqLive int
+
+	// Wrong-path speculative-window pseudo-commit ring and the dispatch
+	// snapshot buffer reused across mispredictions.
+	wpRing       []uint64
+	dispSnapshot []uint64
+
+	stats Stats
+}
+
+// New builds a core. q supplies the correct-path instruction stream;
+// policy supplies wrong-path streams on mispredictions.
+func New(cfg Config, q *queue.Queue, policy wrongpath.Policy) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:          cfg,
+		hier:         cache.NewHierarchy(cfg.Hierarchy),
+		bp:           branch.New(cfg.BranchPred),
+		code:         codecache.New(),
+		q:            q,
+		policy:       policy,
+		curFetchLine: invalidLine,
+		lineMask:     uint64(cfg.Hierarchy.L1I.LineBytes - 1),
+		l1iHitLat:    uint64(cfg.Hierarchy.L1I.HitLatency),
+		dispRing:     make([]uint64, cfg.DispatchWidth),
+		robRing:      make([]uint64, cfg.ROBSize),
+		commitRing:   make([]uint64, cfg.CommitWidth),
+		issuePorts:   make([]uint64, cfg.IssueWidth),
+		storeQ:       make([]sqEntry, cfg.StoreQueueSize),
+		wpRing:       make([]uint64, cfg.ROBSize),
+	}
+	for cl, fu := range cfg.FUs {
+		c.fuFree[cl] = make([]uint64, fu.Count)
+		c.fuLat[cl] = uint64(fu.Latency)
+		c.fuPipe[cl] = fu.Pipelined
+	}
+	c.ctx = wrongpath.Context{
+		Code:    c.code,
+		Pred:    c.bp,
+		Peek:    func(i int) (trace.DynInst, bool) { return q.Peek(i) },
+		ROBSize: cfg.ROBSize,
+		MaxLen:  cfg.WPMaxLen(),
+	}
+	return c, nil
+}
+
+// Stats returns the accumulated statistics.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Hierarchy returns the memory hierarchy (for cache statistics).
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// Predictor returns the branch prediction unit.
+func (c *Core) Predictor() *branch.Unit { return c.bp }
+
+// CodeCache returns the code cache.
+func (c *Core) CodeCache() *codecache.Cache { return c.code }
+
+// Policy returns the wrong-path policy.
+func (c *Core) Policy() wrongpath.Policy { return c.policy }
+
+// Config returns the core configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Run simulates until the program exits or maxInsts correct-path
+// instructions have retired (0 = no cap). It returns the statistics.
+func (c *Core) Run(maxInsts uint64) Stats {
+	return c.RunWarmup(0, maxInsts)
+}
+
+// RunWarmup first functionally warms caches, TLBs, branch predictor and
+// code cache with warmup instructions (no timing, no statistics — the
+// standard warming phase of sampled simulation, as used around the
+// paper's SimPoint samples), then runs the detailed simulation for
+// maxInsts instructions.
+func (c *Core) RunWarmup(warmup, maxInsts uint64) Stats {
+	for consumed := uint64(0); consumed < warmup; consumed++ {
+		di, ok := c.q.Pop()
+		if !ok {
+			break
+		}
+		c.warm(&di)
+		if di.Exit {
+			break
+		}
+	}
+	if warmup > 0 {
+		c.hier.ResetStats()
+	}
+	for {
+		if maxInsts > 0 && c.stats.Instructions >= maxInsts {
+			break
+		}
+		di, ok := c.q.Pop()
+		if !ok {
+			break
+		}
+		c.code.Insert(di.PC, di.In)
+		done, commit, pred := c.stepCorrect(&di)
+		c.stats.Instructions++
+
+		isControl := di.In.Op.IsControl()
+		if isControl {
+			c.recordBranch(&di, pred)
+		}
+		switch {
+		case isControl && pred.Mispredicted:
+			c.stats.Mispredicts++
+			resolve := done
+			c.simulateWrongPath(&di, pred.Target, resolve)
+			c.redirectFetch(resolve + uint64(c.cfg.RedirectPenalty))
+		case isControl && di.Taken:
+			// Correctly predicted taken: the fetch group ends; the next
+			// group starts at the target one cycle later.
+			c.breakFetchGroup()
+		case di.In.Op == isa.OpEcall:
+			c.stats.Serializations++
+			c.redirectFetch(commit + uint64(c.cfg.RedirectPenalty))
+		}
+		if di.Exit {
+			break
+		}
+	}
+	c.stats.Cycles = c.lastCommit
+	return c.stats
+}
+
+// warm pushes one instruction's state effects (caches, TLBs, predictor,
+// code cache) without any timing accounting.
+func (c *Core) warm(di *trace.DynInst) {
+	c.code.Insert(di.PC, di.In)
+	line := di.PC &^ c.lineMask
+	if line != c.curFetchLine {
+		c.hier.AccessI(di.PC, 0, false)
+		c.curFetchLine = line
+	}
+	if di.In.Op.IsControl() {
+		c.bp.PredictAndUpdate(di.PC, di.In, di.Taken, di.NextPC)
+	}
+	if di.HasAddr {
+		if di.In.Op.IsLoad() {
+			c.hier.Load(di.MemAddr, 0, false)
+		} else if di.In.Op.IsStore() {
+			c.hier.Store(di.MemAddr, 0, false)
+		}
+	}
+}
+
+func (c *Core) recordBranch(di *trace.DynInst, pred branch.Prediction) {
+	switch {
+	case di.In.Op.IsCondBranch():
+		c.stats.CondBranches++
+		if pred.Mispredicted {
+			c.stats.CondMispredicted++
+		}
+	case branch.IsReturn(di.In):
+		c.stats.Returns++
+		if pred.Mispredicted {
+			c.stats.ReturnMispredicted++
+		}
+	case di.In.Op == isa.OpJalr:
+		c.stats.IndirectJumps++
+		if pred.Mispredicted {
+			c.stats.IndirectMispredicted++
+		}
+	}
+}
+
+// fetch charges one instruction's fetch and returns its fetch cycle.
+func (c *Core) fetch(pc uint64, wrongPath bool) uint64 {
+	if c.fetchedInCycle >= c.cfg.FetchWidth {
+		c.fetchCycle++
+		c.fetchedInCycle = 0
+		c.curFetchLine = invalidLine
+	}
+	line := pc &^ c.lineMask
+	if line != c.curFetchLine {
+		lat := uint64(c.hier.AccessI(pc, c.fetchCycle, wrongPath))
+		if lat > c.l1iHitLat {
+			// The front end stalls for the miss; the hit pipeline is
+			// otherwise hidden.
+			c.fetchCycle += lat - c.l1iHitLat
+			c.fetchedInCycle = 0
+		}
+		c.curFetchLine = line
+	}
+	c.fetchedInCycle++
+	return c.fetchCycle
+}
+
+func (c *Core) breakFetchGroup() {
+	c.fetchCycle++
+	c.fetchedInCycle = 0
+	c.curFetchLine = invalidLine
+}
+
+func (c *Core) redirectFetch(cycle uint64) {
+	if cycle > c.fetchCycle {
+		c.fetchCycle = cycle
+	}
+	c.fetchedInCycle = 0
+	c.curFetchLine = invalidLine
+}
+
+// stepCorrect pushes one correct-path instruction through the pipeline
+// and returns its execution-complete and commit cycles plus the branch
+// prediction verdict.
+func (c *Core) stepCorrect(di *trace.DynInst) (done, commit uint64, pred branch.Prediction) {
+	fetchAt := c.fetch(di.PC, false)
+	if di.In.Op.IsControl() {
+		pred = c.bp.PredictAndUpdate(di.PC, di.In, di.Taken, di.NextPC)
+	}
+
+	// Dispatch: in order, width-limited, ROB-occupancy-limited.
+	disp := fetchAt + uint64(c.cfg.FetchToDispatch)
+	disp = maxU(disp, c.lastDispatch)
+	disp = maxU(disp, c.dispRing[c.dispIdx]+1)
+	disp = maxU(disp, c.robRing[c.robIdx]+1)
+	if di.In.Op == isa.OpEcall {
+		// Serializing: wait for every older instruction to commit.
+		disp = maxU(disp, c.lastCommit+1)
+	}
+	c.lastDispatch = disp
+	c.dispRing[c.dispIdx] = disp
+	c.dispIdx = (c.dispIdx + 1) % c.cfg.DispatchWidth
+
+	done = c.issueAndExecute(di, disp, false, 0)
+
+	// Commit: in order, width-limited, one cycle after completion.
+	commit = maxU(done+1, c.lastCommit)
+	commit = maxU(commit, c.commitRing[c.commitIdx]+1)
+	c.lastCommit = commit
+	c.commitRing[c.commitIdx] = commit
+	c.commitIdx = (c.commitIdx + 1) % c.cfg.CommitWidth
+	c.robRing[c.robIdx] = commit
+	c.robIdx = (c.robIdx + 1) % c.cfg.ROBSize
+
+	if di.In.Op.IsStore() && di.HasAddr {
+		// Committed stores drain to the cache off the critical path.
+		c.hier.Store(di.MemAddr, commit, false)
+		c.pushStore(di.MemAddr, di.In.Op.MemBytes(), done)
+	}
+	return done, commit, pred
+}
+
+// issueAndExecute models dependence wakeup, issue-width and FU
+// contention, and execution latency (loads through the hierarchy).
+// When resolve is non-zero (wrong-path mode) and the instruction cannot
+// start executing before resolve, it is squashed instead: no resources
+// are consumed and the returned cycle is resolve itself.
+func (c *Core) issueAndExecute(di *trace.DynInst, disp uint64, wrongPath bool, resolve uint64) uint64 {
+	// Nops consume front-end and ROB slots only.
+	if di.In.Op == isa.OpNop {
+		return disp
+	}
+
+	ready := disp
+	var srcs [3]isa.Reg
+	for _, r := range di.In.Sources(srcs[:0]) {
+		ready = maxU(ready, c.regReady[r])
+	}
+
+	// Issue port.
+	pi := minIndex(c.issuePorts)
+	issue := maxU(ready, c.issuePorts[pi])
+
+	// Functional unit.
+	cl := fuClass(di.In.Op.Class())
+	units := c.fuFree[cl]
+	ui := minIndex(units)
+	start := maxU(issue, units[ui])
+
+	if wrongPath && start >= resolve {
+		// Squashed before issuing: consumes no execution resources and
+		// makes no cache access.
+		return resolve
+	}
+
+	c.issuePorts[pi] = issue + 1
+	var lat uint64
+	switch {
+	case di.In.Op.IsLoad():
+		lat = c.loadLatency(di, start, wrongPath)
+	case di.In.Op == isa.OpEcall:
+		lat = 5
+	default:
+		lat = c.fuLat[cl]
+	}
+	if c.fuPipe[cl] {
+		units[ui] = start + 1
+	} else {
+		units[ui] = start + lat
+	}
+
+	done := start + lat
+	if rd, ok := di.In.Dest(); ok {
+		c.regReady[rd] = done
+	}
+	if wrongPath {
+		c.stats.WPExecuted++
+		if di.In.Op.IsLoad() {
+			c.stats.WPLoads++
+			if di.HasAddr {
+				c.stats.WPLoadsWithAddr++
+			}
+		}
+	}
+	return done
+}
+
+// loadLatency returns a load's latency: forwarded from the store queue,
+// an assumed L1 hit when the address is unknown (instruction
+// reconstruction), or a real hierarchy access.
+func (c *Core) loadLatency(di *trace.DynInst, start uint64, wrongPath bool) uint64 {
+	if !di.HasAddr {
+		// §III-A: without addresses, "each memory operation is modeled
+		// as a cache hit".
+		return uint64(c.hier.L1DHitLatency())
+	}
+	if fwdDone, ok := c.forward(di.MemAddr, di.In.Op.MemBytes()); ok {
+		c.stats.LoadForwards++
+		lat := uint64(c.hier.L1DHitLatency())
+		if fwdDone+1 > start+lat {
+			lat = fwdDone + 1 - start
+		}
+		return lat
+	}
+	return uint64(c.hier.Load(di.MemAddr, start, wrongPath))
+}
+
+func (c *Core) pushStore(addr uint64, size int, done uint64) {
+	c.storeQ[c.sqIdx] = sqEntry{addr: addr, size: size, done: done}
+	c.sqIdx = (c.sqIdx + 1) % len(c.storeQ)
+	if c.sqLive < len(c.storeQ) {
+		c.sqLive++
+	}
+}
+
+// forward searches the store queue, newest first, for a store fully
+// covering [addr, addr+size).
+func (c *Core) forward(addr uint64, size int) (done uint64, ok bool) {
+	idx := c.sqIdx
+	for i := 0; i < c.sqLive; i++ {
+		idx--
+		if idx < 0 {
+			idx = len(c.storeQ) - 1
+		}
+		e := &c.storeQ[idx]
+		if addr >= e.addr && addr+uint64(size) <= e.addr+uint64(e.size) {
+			return e.done, true
+		}
+	}
+	return 0, false
+}
+
+// simulateWrongPath obtains the wrong-path stream from the policy and
+// pushes it through the pipeline until the mispredicted branch resolves.
+// Wrong-path instructions access the I-cache, occupy a speculative
+// window of ROB size (stalling wrong-path fetch when it fills — this is
+// what makes accurately-modeled wrong-path cache misses reduce the
+// number of wrong-path instructions executed, the paper's Table II
+// observation), and access the data hierarchy when their address is
+// known. All register and dispatch bookkeeping is rolled back at the
+// squash; cache and predictor-free structures keep the perturbation.
+func (c *Core) simulateWrongPath(br *trace.DynInst, target uint64, resolve uint64) {
+	wp := c.policy.Begin(&c.ctx, br, target)
+	if len(wp) == 0 {
+		return
+	}
+
+	// Snapshot state that the squash logically restores.
+	savedRegs := c.regReady
+	savedLastDispatch := c.lastDispatch
+	if c.dispSnapshot == nil {
+		c.dispSnapshot = make([]uint64, len(c.dispRing))
+	}
+	copy(c.dispSnapshot, c.dispRing)
+	savedDispIdx := c.dispIdx
+
+	// The front end redirects to the predicted target one cycle after
+	// the mispredicted branch's fetch group.
+	c.breakFetchGroup()
+
+	var lastPseudo uint64
+	for i := range wp {
+		// Speculative-window occupancy: entry i must wait for entry
+		// i-ROBSize to pseudo-retire.
+		if i >= c.cfg.ROBSize {
+			free := c.wpRing[i%c.cfg.ROBSize] + 1
+			if free > c.fetchCycle {
+				c.redirectFetch(free)
+			}
+		}
+		if c.fetchCycle >= resolve {
+			break
+		}
+		fetchAt := c.fetch(wp[i].PC, true)
+		c.stats.WPFetched++
+
+		disp := fetchAt + uint64(c.cfg.FetchToDispatch)
+		disp = maxU(disp, c.lastDispatch)
+		disp = maxU(disp, c.dispRing[c.dispIdx]+1)
+		c.lastDispatch = disp
+		c.dispRing[c.dispIdx] = disp
+		c.dispIdx = (c.dispIdx + 1) % c.cfg.DispatchWidth
+
+		done := c.issueAndExecute(&wp[i], disp, true, resolve)
+
+		pseudo := maxU(lastPseudo, done+1)
+		c.wpRing[i%c.cfg.ROBSize] = pseudo
+		lastPseudo = pseudo
+
+		if wp[i].Taken && wp[i].In.Op.IsControl() && c.fetchCycle < resolve {
+			c.breakFetchGroup()
+		}
+	}
+
+	c.regReady = savedRegs
+	c.lastDispatch = savedLastDispatch
+	copy(c.dispRing, c.dispSnapshot)
+	c.dispIdx = savedDispIdx
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minIndex(v []uint64) int {
+	mi := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] < v[mi] {
+			mi = i
+		}
+	}
+	return mi
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workloads/gap"
+	"repro/internal/workloads/specproxy"
+)
+
+func testRunner(t *testing.T) (*Runner, *strings.Builder) {
+	t.Helper()
+	var out strings.Builder
+	r := NewRunner(Options{
+		GAP:  gap.Params{N: 256, Degree: 4, Seed: 7, MaxInsts: 60_000},
+		Spec: specproxy.Params{Scale: 0.01, Seed: 99},
+		Out:  &out,
+	})
+	return r, &out
+}
+
+// TestAllExperiments runs every experiment at miniature scale and
+// checks each produces its report skeleton. This exercises the full
+// fan-out: every workload under every technique plus the ablations.
+func TestAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("miniature experiment sweep skipped in -short mode")
+	}
+	r, out := testRunner(t)
+	if err := r.All(); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"TABLE I", "FIG 1", "FIG 4 (left)", "FIG 4 (right)",
+		"SIMULATION SPEED", "TABLE II", "TABLE III", "ABLATION",
+		"bc", "bfs", "cc", "pr", "sssp", "tc",
+		"hashloop", "streamtriad",
+		"nowp", "instrec", "conv", "wpemul",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	r, _ := testRunner(t)
+	if err := r.Run("nonsense"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestNamesRegistered(t *testing.T) {
+	names := Names()
+	if len(names) != len(registry) {
+		t.Errorf("Names() returned %d entries, registry has %d", len(names), len(registry))
+	}
+	for _, want := range []string{"table1", "fig1", "fig4gap", "fig4spec", "table2", "table3", "speed", "ablation", "parallel"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("experiment %q not registered", want)
+		}
+	}
+}
+
+// TestResultMemoization: the second request for the same run must not
+// simulate again (observable through pointer identity).
+func TestResultMemoization(t *testing.T) {
+	r, _ := testRunner(t)
+	w, _ := gap.ByName("bfs", gap.Params{N: 256, Degree: 4, Seed: 7, MaxInsts: 20_000})
+	a, err := r.result(w, Kinds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.result(w, Kinds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("result not memoized")
+	}
+}

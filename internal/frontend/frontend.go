@@ -1,0 +1,114 @@
+// Package frontend adapts the functional simulator to the decoupling
+// queue: it executes the program instruction by instruction, emitting
+// the dynamic records the performance simulator consumes.
+//
+// In wrong-path-emulation mode the frontend additionally keeps its own
+// copy of the branch predictor — "the functional simulator contains a
+// copy of the branch predictor model and initiates a list of wrong-path
+// instructions when a misprediction is modeled" (§III-B). Because both
+// predictor copies are updated by the same correct-path control
+// instructions in program order using the same policy
+// (branch.PredictAndUpdate), the frontend detects exactly the
+// mispredictions the performance model will detect, checkpoints the
+// functional state, emulates the predicted (wrong) path with stores
+// suppressed, attaches the emulated records to the branch, and restores
+// the checkpoint.
+package frontend
+
+import (
+	"repro/internal/branch"
+	"repro/internal/functional"
+	"repro/internal/trace"
+)
+
+// Frontend drives a functional CPU and implements queue.Producer.
+type Frontend struct {
+	cpu *functional.CPU
+
+	// pred is the wpemul-mode predictor copy; nil in the other modes.
+	pred *branch.Unit
+	// wpMaxLen caps emulated wrong paths (ROB + front-end buffers).
+	wpMaxLen int
+
+	// maxInsts stops production after that many correct-path
+	// instructions (0 = unlimited).
+	maxInsts uint64
+	produced uint64
+
+	err error
+
+	// Statistics.
+	wpEmulations uint64
+	wpEmulated   uint64
+}
+
+// Option configures a Frontend.
+type Option func(*Frontend)
+
+// WithWrongPathEmulation enables functional wrong-path emulation using
+// a predictor initialized from cfg (it must equal the core's predictor
+// configuration) and the given wrong-path length cap.
+func WithWrongPathEmulation(cfg branch.Config, wpMaxLen int) Option {
+	return func(f *Frontend) {
+		f.pred = branch.New(cfg)
+		f.wpMaxLen = wpMaxLen
+	}
+}
+
+// WithMaxInstructions caps the number of correct-path instructions
+// produced.
+func WithMaxInstructions(n uint64) Option {
+	return func(f *Frontend) { f.maxInsts = n }
+}
+
+// New creates a frontend over the CPU.
+func New(cpu *functional.CPU, opts ...Option) *Frontend {
+	f := &Frontend{cpu: cpu}
+	for _, opt := range opts {
+		opt(f)
+	}
+	return f
+}
+
+// Next produces the next correct-path dynamic instruction; ok is false
+// at program end, the instruction cap, or on a functional error
+// (retrievable via Err).
+func (f *Frontend) Next() (trace.DynInst, bool) {
+	if f.err != nil || f.cpu.Halted() {
+		return trace.DynInst{}, false
+	}
+	if f.maxInsts > 0 && f.produced >= f.maxInsts {
+		return trace.DynInst{}, false
+	}
+	di, err := f.cpu.Step()
+	if err != nil {
+		f.err = err
+		return trace.DynInst{}, false
+	}
+	f.produced++
+
+	if f.pred != nil && di.IsControl() {
+		pred := f.pred.PredictAndUpdate(di.PC, di.In, di.Taken, di.NextPC)
+		if pred.Mispredicted {
+			f.wpEmulations++
+			di.WP = f.cpu.WrongPathEmulate(pred.Target, f.wpMaxLen)
+			f.wpEmulated += uint64(len(di.WP))
+		}
+	}
+	return di, true
+}
+
+// Err returns the functional error that stopped production, if any.
+func (f *Frontend) Err() error { return f.err }
+
+// Produced returns the number of correct-path instructions emitted.
+func (f *Frontend) Produced() uint64 { return f.produced }
+
+// WPEmulations returns how many wrong paths were functionally emulated
+// and how many wrong-path instructions that produced.
+func (f *Frontend) WPEmulations() (paths, insts uint64) {
+	return f.wpEmulations, f.wpEmulated
+}
+
+// CPU returns the underlying functional CPU.
+func (f *Frontend) CPU() *functional.CPU { return f.cpu }

@@ -1,0 +1,165 @@
+package frontend_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/branch"
+	"repro/internal/frontend"
+	"repro/internal/functional"
+	"repro/internal/mem"
+)
+
+const loopSrc = `
+    li   t0, 100
+    li   s0, 0x10000
+loop:
+    ld   t1, 0(s0)
+    beq  t1, zero, even
+    addi t2, t2, 1
+even:
+    addi s0, s0, 8
+    addi t0, t0, -1
+    bnez t0, loop
+    li   a7, 0
+    li   a0, 0
+    ecall
+`
+
+func newCPU(t *testing.T) *functional.CPU {
+	t.Helper()
+	prog, err := asm.Assemble(loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	for i := 0; i < 128; i++ {
+		m.WriteUint64(0x10000+uint64(i)*8, uint64(i%3)) // mixed zero/non-zero
+	}
+	return functional.New(prog, m, 0)
+}
+
+func TestProducesAllInstructions(t *testing.T) {
+	fe := frontend.New(newCPU(t))
+	n := 0
+	var sawExit bool
+	for {
+		di, ok := fe.Next()
+		if !ok {
+			break
+		}
+		n++
+		if di.Exit {
+			sawExit = true
+		}
+	}
+	if !sawExit {
+		t.Error("exit instruction not produced")
+	}
+	if uint64(n) != fe.Produced() {
+		t.Errorf("count mismatch: %d vs %d", n, fe.Produced())
+	}
+	if fe.Err() != nil {
+		t.Errorf("unexpected error: %v", fe.Err())
+	}
+	// Idempotent after end.
+	if _, ok := fe.Next(); ok {
+		t.Error("Next after end succeeded")
+	}
+}
+
+func TestMaxInstructionsCap(t *testing.T) {
+	fe := frontend.New(newCPU(t), frontend.WithMaxInstructions(10))
+	n := 0
+	for {
+		if _, ok := fe.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 10 {
+		t.Errorf("produced %d, want 10", n)
+	}
+}
+
+func TestWrongPathEmulationAttachesStreams(t *testing.T) {
+	cfg := branch.DefaultConfig()
+	fe := frontend.New(newCPU(t), frontend.WithWrongPathEmulation(cfg, 64))
+
+	// Mirror predictor: must detect the same mispredictions.
+	mirror := branch.New(cfg)
+	var mirrorMisses, attached int
+	for {
+		di, ok := fe.Next()
+		if !ok {
+			break
+		}
+		if di.IsControl() {
+			p := mirror.PredictAndUpdate(di.PC, di.In, di.Taken, di.NextPC)
+			if p.Mispredicted {
+				mirrorMisses++
+			}
+			if di.WP != nil {
+				attached++
+				if !p.Mispredicted {
+					t.Fatalf("WP attached to correctly-predicted branch at %#x", di.PC)
+				}
+				for i := range di.WP {
+					if !di.WP[i].WrongPath {
+						t.Fatal("attached stream not marked wrong-path")
+					}
+					if len(di.WP) > 64 {
+						t.Fatal("attached stream exceeds cap")
+					}
+				}
+				// The wrong path starts at the predicted target.
+				if di.WP[0].PC != p.Target {
+					t.Fatalf("WP starts at %#x, predicted target %#x", di.WP[0].PC, p.Target)
+				}
+			}
+		} else if di.WP != nil {
+			t.Fatal("WP attached to non-control instruction")
+		}
+	}
+	paths, insts := fe.WPEmulations()
+	if paths == 0 || insts == 0 {
+		t.Fatal("no wrong paths emulated")
+	}
+	if int(paths) != mirrorMisses {
+		t.Errorf("frontend emulated %d paths, mirror predictor saw %d mispredicts", paths, mirrorMisses)
+	}
+	if attached > mirrorMisses {
+		t.Errorf("attached %d streams for %d mispredicts", attached, mirrorMisses)
+	}
+}
+
+func TestNoEmulationWithoutOption(t *testing.T) {
+	fe := frontend.New(newCPU(t))
+	for {
+		di, ok := fe.Next()
+		if !ok {
+			break
+		}
+		if di.WP != nil {
+			t.Fatal("wrong path attached without emulation option")
+		}
+	}
+	if paths, _ := fe.WPEmulations(); paths != 0 {
+		t.Error("emulation counted without option")
+	}
+}
+
+func TestFrontendSurfacesFunctionalErrors(t *testing.T) {
+	// A program that runs off its end.
+	prog := asm.MustAssemble("nop")
+	fe := frontend.New(functional.New(prog, mem.New(), 0))
+	if _, ok := fe.Next(); !ok {
+		t.Fatal("first instruction failed")
+	}
+	if _, ok := fe.Next(); ok {
+		t.Fatal("instruction past program end produced")
+	}
+	if fe.Err() == nil {
+		t.Error("functional error not surfaced")
+	}
+}

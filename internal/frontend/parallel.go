@@ -1,0 +1,114 @@
+package frontend
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Parallel runs a producer (typically a *Frontend) in its own
+// goroutine, handing instruction batches to the consumer through a
+// buffered channel. This realizes the decoupling benefit the paper
+// attributes to functional-first simulation: "the decoupling of the
+// functional and performance simulator enables them to run in
+// parallel", unlike integrated simulation's de-facto sequential
+// emulate-then-time loop.
+//
+// The produced instruction sequence — and therefore every simulation
+// statistic — is bit-identical to the synchronous mode; only host
+// wall-clock time changes.
+type Parallel struct {
+	ch   chan []trace.DynInst
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	cur []trace.DynInst
+	idx int
+	eof bool
+}
+
+// DefaultBatch is the default producer batch size: large enough to
+// amortize channel synchronization, small enough to keep the
+// performance simulator from stalling at start-up.
+const DefaultBatch = 256
+
+// DefaultDepth is the default channel depth in batches. Depth × batch
+// bounds the functional simulator's run-ahead, playing the role of the
+// paper's "tens up to thousands" of queued instructions.
+const DefaultDepth = 16
+
+// NewParallel starts the producer goroutine. Close must be called when
+// the consumer is done (sim.Run does this), otherwise the goroutine
+// leaks blocked on a full channel.
+func NewParallel(src interface {
+	Next() (trace.DynInst, bool)
+}, batch, depth int) *Parallel {
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	p := &Parallel{
+		ch:   make(chan []trace.DynInst, depth),
+		stop: make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer close(p.ch)
+		buf := make([]trace.DynInst, 0, batch)
+		for {
+			di, ok := src.Next()
+			if ok {
+				buf = append(buf, di)
+			}
+			if len(buf) == batch || (!ok && len(buf) > 0) {
+				select {
+				case p.ch <- buf:
+					buf = make([]trace.DynInst, 0, batch)
+				case <-p.stop:
+					return
+				}
+			}
+			if !ok {
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// Next implements queue.Producer from the consumer side.
+func (p *Parallel) Next() (trace.DynInst, bool) {
+	for p.idx >= len(p.cur) {
+		if p.eof {
+			return trace.DynInst{}, false
+		}
+		batch, ok := <-p.ch
+		if !ok {
+			p.eof = true
+			return trace.DynInst{}, false
+		}
+		p.cur, p.idx = batch, 0
+	}
+	di := p.cur[p.idx]
+	p.idx++
+	return di, true
+}
+
+// Close stops the producer goroutine and waits for it to exit. It is
+// safe to call after the producer has already finished.
+func (p *Parallel) Close() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	// Drain so a producer blocked on send can observe stop/finish.
+	for range p.ch {
+	}
+	p.wg.Wait()
+	p.cur, p.idx = nil, 0
+	p.eof = true
+}

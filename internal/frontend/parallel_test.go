@@ -1,0 +1,106 @@
+package frontend_test
+
+import (
+	"testing"
+
+	"repro/internal/frontend"
+	"repro/internal/trace"
+)
+
+type countProducer struct {
+	n   int
+	max int
+}
+
+func (p *countProducer) Next() (trace.DynInst, bool) {
+	if p.n >= p.max {
+		return trace.DynInst{}, false
+	}
+	d := trace.DynInst{Seq: uint64(p.n)}
+	p.n++
+	return d, true
+}
+
+func TestParallelDeliversEverythingInOrder(t *testing.T) {
+	for _, total := range []int{0, 1, 255, 256, 257, 5000} {
+		p := frontend.NewParallel(&countProducer{max: total}, 64, 4)
+		for i := 0; i < total; i++ {
+			d, ok := p.Next()
+			if !ok {
+				t.Fatalf("total=%d: stream ended at %d", total, i)
+			}
+			if d.Seq != uint64(i) {
+				t.Fatalf("total=%d: out of order at %d: got %d", total, i, d.Seq)
+			}
+		}
+		if _, ok := p.Next(); ok {
+			t.Fatalf("total=%d: extra instruction", total)
+		}
+		// Next after EOF stays false.
+		if _, ok := p.Next(); ok {
+			t.Fatal("Next after EOF succeeded")
+		}
+		p.Close()
+	}
+}
+
+func TestParallelCloseEarly(t *testing.T) {
+	// A producer far larger than the channel capacity: Close must
+	// unblock and stop the goroutine even though the consumer quit
+	// early.
+	p := frontend.NewParallel(&countProducer{max: 1_000_000}, 64, 2)
+	for i := 0; i < 10; i++ {
+		if _, ok := p.Next(); !ok {
+			t.Fatal("early end")
+		}
+	}
+	p.Close()
+	if _, ok := p.Next(); ok {
+		t.Error("Next after Close succeeded")
+	}
+	// Close is idempotent.
+	p.Close()
+}
+
+func TestParallelDefaults(t *testing.T) {
+	p := frontend.NewParallel(&countProducer{max: 10}, 0, 0)
+	n := 0
+	for {
+		if _, ok := p.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 10 {
+		t.Errorf("delivered %d, want 10", n)
+	}
+	p.Close()
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	// The parallel wrapper must deliver exactly the frontend's stream.
+	seqFE := frontend.New(newCPU(t))
+	var want []trace.DynInst
+	for {
+		d, ok := seqFE.Next()
+		if !ok {
+			break
+		}
+		want = append(want, d)
+	}
+
+	par := frontend.NewParallel(frontend.New(newCPU(t)), 32, 4)
+	defer par.Close()
+	for i := range want {
+		got, ok := par.Next()
+		if !ok {
+			t.Fatalf("parallel stream ended at %d/%d", i, len(want))
+		}
+		if got.Seq != want[i].Seq || got.PC != want[i].PC || got.NextPC != want[i].NextPC {
+			t.Fatalf("parallel diverges at %d: %+v vs %+v", i, got, want[i])
+		}
+	}
+	if _, ok := par.Next(); ok {
+		t.Error("parallel stream longer than sequential")
+	}
+}

@@ -1,0 +1,222 @@
+// Package graph provides deterministic graph generation and the CSR
+// (compressed sparse row) representation the GAP benchmark kernels
+// operate on, mirroring the GAP benchmark suite's input pipeline
+// (uniform-random and Kronecker/RMAT generators, symmetrization, sorted
+// adjacency lists).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RNG is a splitmix64 pseudo-random generator: tiny, fast and
+// deterministic across platforms (no dependence on math/rand ordering).
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a generator.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64 random bits.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n uint64) uint64 {
+	if n == 0 {
+		panic("graph: Intn(0)")
+	}
+	return r.Next() % n
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// Edge is a directed edge.
+type Edge struct{ Src, Dst uint32 }
+
+// CSR is a graph in compressed sparse row form. Offsets has N+1
+// entries; the neighbors of u are Neighbors[Offsets[u]:Offsets[u+1]],
+// sorted ascending.
+type CSR struct {
+	N         int
+	Offsets   []uint64
+	Neighbors []uint64
+}
+
+// Degree returns the out-degree of u.
+func (g *CSR) Degree(u int) int {
+	return int(g.Offsets[u+1] - g.Offsets[u])
+}
+
+// Adj returns the (sorted) adjacency list of u.
+func (g *CSR) Adj(u int) []uint64 {
+	return g.Neighbors[g.Offsets[u]:g.Offsets[u+1]]
+}
+
+// NumEdges returns the number of directed edges.
+func (g *CSR) NumEdges() int { return len(g.Neighbors) }
+
+// Validate checks structural invariants (monotone offsets, in-range
+// sorted neighbors); used by tests and property checks.
+func (g *CSR) Validate() error {
+	if len(g.Offsets) != g.N+1 {
+		return fmt.Errorf("graph: offsets length %d, want %d", len(g.Offsets), g.N+1)
+	}
+	if g.Offsets[0] != 0 || g.Offsets[g.N] != uint64(len(g.Neighbors)) {
+		return fmt.Errorf("graph: offset endpoints invalid")
+	}
+	for u := 0; u < g.N; u++ {
+		if g.Offsets[u] > g.Offsets[u+1] {
+			return fmt.Errorf("graph: offsets not monotone at %d", u)
+		}
+		adj := g.Adj(u)
+		for i, v := range adj {
+			if v >= uint64(g.N) {
+				return fmt.Errorf("graph: neighbor %d of %d out of range", v, u)
+			}
+			if i > 0 && adj[i-1] > v {
+				return fmt.Errorf("graph: adjacency of %d not sorted", u)
+			}
+		}
+	}
+	return nil
+}
+
+// BuildCSR constructs a CSR from an edge list, sorting and deduplicating
+// adjacency lists and dropping self-loops.
+func BuildCSR(n int, edges []Edge) *CSR {
+	deg := make([]uint64, n+1)
+	for _, e := range edges {
+		if e.Src != e.Dst {
+			deg[e.Src+1]++
+		}
+	}
+	off := make([]uint64, n+1)
+	for i := 0; i < n; i++ {
+		off[i+1] = off[i] + deg[i+1]
+	}
+	nbr := make([]uint64, off[n])
+	fill := make([]uint64, n)
+	copy(fill, off[:n])
+	for _, e := range edges {
+		if e.Src != e.Dst {
+			nbr[fill[e.Src]] = uint64(e.Dst)
+			fill[e.Src]++
+		}
+	}
+	for u := 0; u < n; u++ {
+		adj := nbr[off[u]:off[u+1]]
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+	}
+	return dedup(n, nbr, off)
+}
+
+// dedup compacts sorted adjacency lists, dropping duplicate edges.
+func dedup(n int, nbr []uint64, off []uint64) *CSR {
+	outOff := make([]uint64, n+1)
+	var outNbr []uint64
+	for u := 0; u < n; u++ {
+		adj := nbr[off[u]:off[u+1]]
+		outOff[u] = uint64(len(outNbr))
+		for i, v := range adj {
+			if i > 0 && adj[i-1] == v {
+				continue
+			}
+			outNbr = append(outNbr, v)
+		}
+	}
+	outOff[n] = uint64(len(outNbr))
+	return &CSR{N: n, Offsets: outOff, Neighbors: outNbr}
+}
+
+// Uniform generates a directed uniform-random graph with n vertices and
+// approximately n*degree edges, symmetrized when undirected is set.
+func Uniform(n, degree int, seed uint64, undirected bool) *CSR {
+	rng := NewRNG(seed)
+	edges := make([]Edge, 0, n*degree*2)
+	for u := 0; u < n; u++ {
+		for d := 0; d < degree; d++ {
+			v := uint32(rng.Intn(uint64(n)))
+			edges = append(edges, Edge{uint32(u), v})
+			if undirected {
+				edges = append(edges, Edge{v, uint32(u)})
+			}
+		}
+	}
+	return BuildCSR(n, edges)
+}
+
+// Kronecker generates an RMAT/Kronecker graph with 2^scale vertices and
+// approximately edgeFactor*2^scale edges using the GAP/Graph500
+// parameters (A=0.57, B=0.19, C=0.19), symmetrized when undirected.
+// Kronecker graphs have the skewed degree distribution that makes graph
+// workloads branchy and cache-hostile.
+func Kronecker(scale, edgeFactor int, seed uint64, undirected bool) *CSR {
+	n := 1 << uint(scale)
+	rng := NewRNG(seed)
+	m := n * edgeFactor
+	edges := make([]Edge, 0, m*2)
+	const a, b, c = 0.57, 0.19, 0.19
+	for i := 0; i < m; i++ {
+		var src, dst int
+		for bit := 0; bit < scale; bit++ {
+			p := rng.Float64()
+			switch {
+			case p < a:
+				// top-left: no bits set
+			case p < a+b:
+				dst |= 1 << uint(bit)
+			case p < a+b+c:
+				src |= 1 << uint(bit)
+			default:
+				src |= 1 << uint(bit)
+				dst |= 1 << uint(bit)
+			}
+		}
+		edges = append(edges, Edge{uint32(src), uint32(dst)})
+		if undirected {
+			edges = append(edges, Edge{uint32(dst), uint32(src)})
+		}
+	}
+	return BuildCSR(n, edges)
+}
+
+// Grid2D generates a w×h four-connected grid graph (road-network-like:
+// bounded degree, large diameter). BFS/SSSP on grids have long
+// frontiers and highly regular inner loops — the opposite end of the
+// behaviour spectrum from Kronecker graphs.
+func Grid2D(w, h int) *CSR {
+	n := w * h
+	edges := make([]Edge, 0, 4*n)
+	idx := func(x, y int) uint32 { return uint32(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, Edge{idx(x, y), idx(x+1, y)}, Edge{idx(x+1, y), idx(x, y)})
+			}
+			if y+1 < h {
+				edges = append(edges, Edge{idx(x, y), idx(x, y+1)}, Edge{idx(x, y+1), idx(x, y)})
+			}
+		}
+	}
+	return BuildCSR(n, edges)
+}
+
+// Weights generates deterministic positive edge weights in [1, maxW]
+// aligned with the CSR's Neighbors array (for SSSP).
+func Weights(g *CSR, seed uint64, maxW int) []uint64 {
+	rng := NewRNG(seed)
+	w := make([]uint64, len(g.Neighbors))
+	for i := range w {
+		w[i] = 1 + rng.Intn(uint64(maxW))
+	}
+	return w
+}

@@ -1,0 +1,211 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed RNGs diverge")
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewRNG(7).Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Error("different seeds look identical")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %f", f)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestBuildCSR(t *testing.T) {
+	edges := []Edge{
+		{0, 1}, {0, 2}, {0, 1}, // duplicate dropped
+		{1, 0},
+		{2, 2}, // self loop dropped
+		{2, 0}, {2, 1},
+	}
+	g := BuildCSR(3, edges)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Adj(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("adj(0) = %v", got)
+	}
+	if got := g.Adj(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("adj(1) = %v", got)
+	}
+	if got := g.Adj(2); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("adj(2) = %v", got)
+	}
+	if g.NumEdges() != 5 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 1 {
+		t.Error("degrees wrong")
+	}
+}
+
+func TestUniformProperties(t *testing.T) {
+	g := Uniform(500, 4, 11, true)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 500 {
+		t.Errorf("N = %d", g.N)
+	}
+	// Symmetry: u in adj(v) iff v in adj(u).
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Adj(u) {
+			found := false
+			for _, w := range g.Adj(int(v)) {
+				if w == uint64(u) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d not symmetric", u, v)
+			}
+		}
+	}
+}
+
+func TestUniformDeterminism(t *testing.T) {
+	a := Uniform(200, 4, 5, true)
+	b := Uniform(200, 4, 5, true)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same-seed graphs differ")
+	}
+	for i := range a.Neighbors {
+		if a.Neighbors[i] != b.Neighbors[i] {
+			t.Fatal("same-seed graphs differ")
+		}
+	}
+}
+
+func TestKroneckerProperties(t *testing.T) {
+	g := Kronecker(10, 4, 3, true)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1024 {
+		t.Errorf("N = %d", g.N)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+	// RMAT graphs are skewed: the maximum degree should far exceed the
+	// average.
+	maxDeg, sum := 0, 0
+	for u := 0; u < g.N; u++ {
+		d := g.Degree(u)
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(sum) / float64(g.N)
+	if float64(maxDeg) < 4*avg {
+		t.Errorf("max degree %d not skewed vs average %.1f", maxDeg, avg)
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D(5, 4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 20 {
+		t.Errorf("N = %d", g.N)
+	}
+	// Corner degree 2, edge degree 3, interior degree 4.
+	if g.Degree(0) != 2 {
+		t.Errorf("corner degree = %d", g.Degree(0))
+	}
+	if g.Degree(1) != 3 {
+		t.Errorf("edge degree = %d", g.Degree(1))
+	}
+	if g.Degree(6) != 4 { // (1,1) interior
+		t.Errorf("interior degree = %d", g.Degree(6))
+	}
+	// Total edges: 2 * (h*(w-1) + w*(h-1)) directed.
+	want := 2 * (4*4 + 5*3)
+	if g.NumEdges() != want {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), want)
+	}
+}
+
+func TestWeights(t *testing.T) {
+	g := Uniform(100, 4, 9, false)
+	w := Weights(g, 1, 32)
+	if len(w) != g.NumEdges() {
+		t.Fatalf("weights length %d, edges %d", len(w), g.NumEdges())
+	}
+	for _, v := range w {
+		if v < 1 || v > 32 {
+			t.Fatalf("weight %d out of [1,32]", v)
+		}
+	}
+	w2 := Weights(g, 1, 32)
+	for i := range w {
+		if w[i] != w2[i] {
+			t.Fatal("weights nondeterministic")
+		}
+	}
+}
+
+// TestQuickCSRInvariants: for arbitrary edge lists, BuildCSR yields a
+// structurally valid graph with no self loops and no duplicates.
+func TestQuickCSRInvariants(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 64
+		edges := make([]Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{uint32(raw[i]) % n, uint32(raw[i+1]) % n})
+		}
+		g := BuildCSR(n, edges)
+		if g.Validate() != nil {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			adj := g.Adj(u)
+			for i, v := range adj {
+				if v == uint64(u) {
+					return false // self loop survived
+				}
+				if i > 0 && adj[i-1] == v {
+					return false // duplicate survived
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package isa
+
+import "fmt"
+
+// Inst is one decoded instruction. The functional simulator executes
+// Insts; the code cache stores exactly this decode information (address
+// comes from the containing program), which is what the paper's
+// instruction-reconstruction technique replays: "instruction address,
+// instruction type, input and output registers".
+type Inst struct {
+	Op  Op
+	Rd  Reg // destination; RegNone if none
+	Rs1 Reg // first source; RegNone if none
+	Rs2 Reg // second source; RegNone if none (store data register for stores)
+	Rs3 Reg // third source (fmadd only); RegNone otherwise
+	// Imm is the immediate operand: ALU immediate, load/store
+	// displacement, or jalr offset.
+	Imm int64
+	// Target is the absolute target PC for conditional branches and
+	// direct jumps, filled in by the assembler.
+	Target uint64
+}
+
+// Nop is the canonical no-operation instruction.
+var Nop = Inst{Op: OpNop, Rd: RegNone, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone}
+
+// Dest returns the destination register and whether the instruction
+// writes one. Writes to x0 are architecturally discarded and reported
+// as "no destination" so dependence tracking never chains through zero.
+func (in Inst) Dest() (Reg, bool) {
+	if in.Rd == RegNone || in.Rd == X0 {
+		return RegNone, false
+	}
+	return in.Rd, true
+}
+
+// Sources appends the source registers of the instruction to dst and
+// returns the extended slice. x0 is included (it is architecturally a
+// source, always ready); RegNone slots are skipped.
+func (in Inst) Sources(dst []Reg) []Reg {
+	if in.Rs1 != RegNone {
+		dst = append(dst, in.Rs1)
+	}
+	if in.Rs2 != RegNone {
+		dst = append(dst, in.Rs2)
+	}
+	if in.Rs3 != RegNone {
+		dst = append(dst, in.Rs3)
+	}
+	return dst
+}
+
+// BaseReg returns the address base register for memory operations.
+func (in Inst) BaseReg() (Reg, bool) {
+	if in.Op.IsMem() {
+		return in.Rs1, true
+	}
+	return RegNone, false
+}
+
+// StoreDataReg returns the register holding the value to be stored.
+func (in Inst) StoreDataReg() (Reg, bool) {
+	if in.Op.IsStore() {
+		return in.Rs2, true
+	}
+	return RegNone, false
+}
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	switch in.Op.Class() {
+	case ClassNop:
+		return "nop"
+	case ClassSyscall:
+		return "ecall"
+	case ClassLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case ClassStore:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case ClassBranch:
+		return fmt.Sprintf("%s %s, %s, 0x%x", in.Op, in.Rs1, in.Rs2, in.Target)
+	case ClassJump:
+		return fmt.Sprintf("%s %s, 0x%x", in.Op, in.Rd, in.Target)
+	case ClassJumpInd:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	}
+	switch in.Op {
+	case OpLui:
+		return fmt.Sprintf("lui %s, %d", in.Rd, in.Imm)
+	case OpFmadd:
+		return fmt.Sprintf("fmadd %s, %s, %s, %s", in.Rd, in.Rs1, in.Rs2, in.Rs3)
+	}
+	if in.Rs2 == RegNone && in.Rs1 != RegNone {
+		// Immediate-form ALU and single-source FP ops.
+		if hasImm(in.Op) {
+			return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+		}
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs1)
+	}
+	return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+}
+
+func hasImm(op Op) bool {
+	switch op {
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti, OpSltiu:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,367 @@
+// Package isa defines the instruction set architecture used by the
+// simulator: the register file layout, the opcode space, instruction
+// classes (which drive functional-unit selection and latency in the
+// timing model), and the in-memory representation of decoded
+// instructions.
+//
+// The ISA is a custom 64-bit load/store RISC, deliberately close to
+// RISC-V in spirit: 32 integer registers (x0 hard-wired to zero), 32
+// floating-point registers, fixed 4-byte instruction size, PC-relative
+// conditional branches, and direct (jal) and indirect (jalr) jumps.
+// Instructions are kept decoded (struct form); there is no binary
+// encoding because nothing in the paper's techniques depends on one —
+// the functional simulator, code cache and timing model all operate on
+// decode information (address, type, registers), exactly the data the
+// paper lists as what the performance simulator consumes.
+package isa
+
+import "fmt"
+
+// Reg identifies an architectural register in a unified 64-entry space:
+// 0..31 are the integer registers x0..x31, 32..63 are the floating-point
+// registers f0..f31. A unified space keeps dependence tracking in the
+// timing model and the convergence-technique independence check uniform.
+type Reg uint8
+
+// Register-file dimensions.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	// NumRegs is the size of the unified register space.
+	NumRegs = NumIntRegs + NumFPRegs
+)
+
+// RegNone marks an absent register operand.
+const RegNone Reg = 0xFF
+
+// Well-known integer registers (RISC-V-flavoured ABI names).
+const (
+	X0  Reg = iota // hard-wired zero
+	RA             // x1: return address
+	SP             // x2: stack pointer
+	GP             // x3: global pointer
+	TP             // x4: thread pointer
+	T0             // x5
+	T1             // x6
+	T2             // x7
+	S0             // x8
+	S1             // x9
+	A0             // x10: argument/return 0
+	A1             // x11
+	A2             // x12
+	A3             // x13
+	A4             // x14
+	A5             // x15
+	A6             // x16
+	A7             // x17: syscall number
+	S2             // x18
+	S3             // x19
+	S4             // x20
+	S5             // x21
+	S6             // x22
+	S7             // x23
+	S8             // x24
+	S9             // x25
+	S10            // x26
+	S11            // x27
+	T3             // x28
+	T4             // x29
+	T5             // x30
+	T6             // x31
+)
+
+// F returns the unified-space register for floating-point register fN.
+func F(n int) Reg {
+	if n < 0 || n >= NumFPRegs {
+		panic(fmt.Sprintf("isa: invalid FP register f%d", n))
+	}
+	return Reg(NumIntRegs + n)
+}
+
+// X returns the unified-space register for integer register xN.
+func X(n int) Reg {
+	if n < 0 || n >= NumIntRegs {
+		panic(fmt.Sprintf("isa: invalid integer register x%d", n))
+	}
+	return Reg(n)
+}
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r != RegNone && r >= NumIntRegs }
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+var intRegNames = [NumIntRegs]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// String returns the ABI name of the register ("a0", "f3", …).
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "-"
+	case r < NumIntRegs:
+		return intRegNames[r]
+	case r < NumRegs:
+		return fmt.Sprintf("f%d", int(r)-NumIntRegs)
+	default:
+		return fmt.Sprintf("reg?%d", uint8(r))
+	}
+}
+
+// Op is an operation code.
+type Op uint8
+
+// Opcode space. Grouped by class; Class() below relies on the grouping
+// being kept in sync.
+const (
+	OpInvalid Op = iota
+
+	// Integer ALU, register-register.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpSlt
+	OpSltu
+
+	// Integer ALU, register-immediate.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSrai
+	OpSlti
+	OpSltiu
+	OpLui
+
+	// Integer multiply/divide.
+	OpMul
+	OpMulh
+	OpDiv
+	OpDivu
+	OpRem
+	OpRemu
+
+	// Loads (integer destination).
+	OpLd
+	OpLw
+	OpLwu
+	OpLh
+	OpLhu
+	OpLb
+	OpLbu
+	// Load (FP destination).
+	OpFld
+
+	// Stores.
+	OpSd
+	OpSw
+	OpSh
+	OpSb
+	OpFsd
+
+	// Floating point arithmetic (double precision).
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpFsqrt
+	OpFmin
+	OpFmax
+	OpFneg
+	OpFabs
+	OpFmadd // rd = rs1*rs2 + rs3 (fused, single rounding)
+
+	// FP <-> integer moves and conversions.
+	OpFcvtDL // int64 -> double
+	OpFcvtLD // double -> int64 (truncating)
+	OpFmvXD  // move raw bits fp -> int
+	OpFmvDX  // move raw bits int -> fp
+
+	// FP comparisons (integer destination).
+	OpFeq
+	OpFlt
+	OpFle
+
+	// Conditional branches (PC-relative; assembler stores absolute target).
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+
+	// Jumps.
+	OpJal  // rd = pc+4; pc = Target (direct call / unconditional jump)
+	OpJalr // rd = pc+4; pc = (rs1 + imm) & ^1 (indirect call / return)
+
+	// System.
+	OpEcall // environment call: a7 = code, a0.. = args
+	OpNop
+
+	opMax // sentinel
+)
+
+// Class buckets opcodes by the pipeline resource they use. The timing
+// model maps classes to functional units and latencies; the wrong-path
+// reconstruction techniques use classes to know which instructions touch
+// memory or redirect control flow.
+type Class uint8
+
+const (
+	ClassInvalid Class = iota
+	ClassALU           // simple integer ops
+	ClassMul           // integer multiply
+	ClassDiv           // integer divide/remainder (unpipelined)
+	ClassFPAdd         // FP add/sub/compare/convert/move
+	ClassFPMul         // FP multiply / fused multiply-add
+	ClassFPDiv         // FP divide / sqrt (unpipelined)
+	ClassLoad
+	ClassStore
+	ClassBranch  // conditional branch
+	ClassJump    // direct jump / call
+	ClassJumpInd // indirect jump / return
+	ClassSyscall // serializing environment call
+	ClassNop
+)
+
+var classNames = [...]string{
+	ClassInvalid: "invalid",
+	ClassALU:     "alu",
+	ClassMul:     "mul",
+	ClassDiv:     "div",
+	ClassFPAdd:   "fpadd",
+	ClassFPMul:   "fpmul",
+	ClassFPDiv:   "fpdiv",
+	ClassLoad:    "load",
+	ClassStore:   "store",
+	ClassBranch:  "branch",
+	ClassJump:    "jump",
+	ClassJumpInd: "jumpind",
+	ClassSyscall: "syscall",
+	ClassNop:     "nop",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class?%d", uint8(c))
+}
+
+var opClass = [opMax]Class{
+	OpAdd: ClassALU, OpSub: ClassALU, OpAnd: ClassALU, OpOr: ClassALU,
+	OpXor: ClassALU, OpSll: ClassALU, OpSrl: ClassALU, OpSra: ClassALU,
+	OpSlt: ClassALU, OpSltu: ClassALU,
+	OpAddi: ClassALU, OpAndi: ClassALU, OpOri: ClassALU, OpXori: ClassALU,
+	OpSlli: ClassALU, OpSrli: ClassALU, OpSrai: ClassALU, OpSlti: ClassALU,
+	OpSltiu: ClassALU, OpLui: ClassALU,
+	OpMul: ClassMul, OpMulh: ClassMul,
+	OpDiv: ClassDiv, OpDivu: ClassDiv, OpRem: ClassDiv, OpRemu: ClassDiv,
+	OpLd: ClassLoad, OpLw: ClassLoad, OpLwu: ClassLoad, OpLh: ClassLoad,
+	OpLhu: ClassLoad, OpLb: ClassLoad, OpLbu: ClassLoad, OpFld: ClassLoad,
+	OpSd: ClassStore, OpSw: ClassStore, OpSh: ClassStore, OpSb: ClassStore,
+	OpFsd:  ClassStore,
+	OpFadd: ClassFPAdd, OpFsub: ClassFPAdd, OpFmin: ClassFPAdd,
+	OpFmax: ClassFPAdd, OpFneg: ClassFPAdd, OpFabs: ClassFPAdd,
+	OpFcvtDL: ClassFPAdd, OpFcvtLD: ClassFPAdd, OpFmvXD: ClassFPAdd,
+	OpFmvDX: ClassFPAdd, OpFeq: ClassFPAdd, OpFlt: ClassFPAdd,
+	OpFle:  ClassFPAdd,
+	OpFmul: ClassFPMul, OpFmadd: ClassFPMul,
+	OpFdiv: ClassFPDiv, OpFsqrt: ClassFPDiv,
+	OpBeq: ClassBranch, OpBne: ClassBranch, OpBlt: ClassBranch,
+	OpBge: ClassBranch, OpBltu: ClassBranch, OpBgeu: ClassBranch,
+	OpJal:   ClassJump,
+	OpJalr:  ClassJumpInd,
+	OpEcall: ClassSyscall,
+	OpNop:   ClassNop,
+}
+
+// Class returns the pipeline class of the opcode.
+func (op Op) Class() Class {
+	if op < opMax {
+		return opClass[op]
+	}
+	return ClassInvalid
+}
+
+// IsCondBranch reports whether op is a conditional branch.
+func (op Op) IsCondBranch() bool { return op.Class() == ClassBranch }
+
+// IsControl reports whether op can redirect the PC (branches and jumps).
+func (op Op) IsControl() bool {
+	c := op.Class()
+	return c == ClassBranch || c == ClassJump || c == ClassJumpInd
+}
+
+// IsLoad reports whether op reads memory.
+func (op Op) IsLoad() bool { return op.Class() == ClassLoad }
+
+// IsStore reports whether op writes memory.
+func (op Op) IsStore() bool { return op.Class() == ClassStore }
+
+// IsMem reports whether op accesses data memory.
+func (op Op) IsMem() bool { return op.IsLoad() || op.IsStore() }
+
+var opNames = [opMax]string{
+	OpInvalid: "invalid",
+	OpAdd:     "add", OpSub: "sub", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpSll: "sll", OpSrl: "srl", OpSra: "sra", OpSlt: "slt", OpSltu: "sltu",
+	OpAddi: "addi", OpAndi: "andi", OpOri: "ori", OpXori: "xori",
+	OpSlli: "slli", OpSrli: "srli", OpSrai: "srai", OpSlti: "slti",
+	OpSltiu: "sltiu", OpLui: "lui",
+	OpMul: "mul", OpMulh: "mulh", OpDiv: "div", OpDivu: "divu",
+	OpRem: "rem", OpRemu: "remu",
+	OpLd: "ld", OpLw: "lw", OpLwu: "lwu", OpLh: "lh", OpLhu: "lhu",
+	OpLb: "lb", OpLbu: "lbu", OpFld: "fld",
+	OpSd: "sd", OpSw: "sw", OpSh: "sh", OpSb: "sb", OpFsd: "fsd",
+	OpFadd: "fadd", OpFsub: "fsub", OpFmul: "fmul", OpFdiv: "fdiv",
+	OpFsqrt: "fsqrt", OpFmin: "fmin", OpFmax: "fmax", OpFneg: "fneg",
+	OpFabs: "fabs", OpFmadd: "fmadd",
+	OpFcvtDL: "fcvt.d.l", OpFcvtLD: "fcvt.l.d", OpFmvXD: "fmv.x.d",
+	OpFmvDX: "fmv.d.x",
+	OpFeq:   "feq", OpFlt: "flt", OpFle: "fle",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpBltu: "bltu", OpBgeu: "bgeu",
+	OpJal: "jal", OpJalr: "jalr",
+	OpEcall: "ecall", OpNop: "nop",
+}
+
+// String returns the assembler mnemonic of the opcode.
+func (op Op) String() string {
+	if op < opMax {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op?%d", uint8(op))
+}
+
+// MemBytes returns the data-memory access width in bytes of a load or
+// store opcode, and 0 for anything else.
+func (op Op) MemBytes() int {
+	switch op {
+	case OpLd, OpSd, OpFld, OpFsd:
+		return 8
+	case OpLw, OpLwu, OpSw:
+		return 4
+	case OpLh, OpLhu, OpSh:
+		return 2
+	case OpLb, OpLbu, OpSb:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// InstBytes is the fixed instruction size; PCs advance by InstBytes.
+const InstBytes = 4

@@ -1,0 +1,247 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterNames(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{X0, "zero"}, {RA, "ra"}, {SP, "sp"}, {A0, "a0"}, {A7, "a7"},
+		{T6, "t6"}, {S11, "s11"}, {F(0), "f0"}, {F(31), "f31"},
+		{RegNone, "-"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRegisterSpaces(t *testing.T) {
+	for i := 0; i < NumIntRegs; i++ {
+		r := X(i)
+		if r.IsFP() {
+			t.Errorf("x%d classified as FP", i)
+		}
+		if !r.Valid() {
+			t.Errorf("x%d not valid", i)
+		}
+	}
+	for i := 0; i < NumFPRegs; i++ {
+		r := F(i)
+		if !r.IsFP() {
+			t.Errorf("f%d not classified as FP", i)
+		}
+		if !r.Valid() {
+			t.Errorf("f%d not valid", i)
+		}
+	}
+	if RegNone.Valid() {
+		t.Error("RegNone reported valid")
+	}
+	if RegNone.IsFP() {
+		t.Error("RegNone reported FP")
+	}
+}
+
+func TestRegisterConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){func() { X(32) }, func() { X(-1) }, func() { F(32) }, func() { F(-1) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range register")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEveryOpcodeHasClassAndName(t *testing.T) {
+	for op := OpInvalid + 1; op < opMax; op++ {
+		if op.Class() == ClassInvalid {
+			t.Errorf("opcode %d (%s) has no class", op, op)
+		}
+		name := op.String()
+		if name == "" || strings.HasPrefix(name, "op?") {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	if !OpBeq.IsCondBranch() || OpJal.IsCondBranch() {
+		t.Error("IsCondBranch misclassifies")
+	}
+	for _, op := range []Op{OpBeq, OpBne, OpJal, OpJalr} {
+		if !op.IsControl() {
+			t.Errorf("%v not control", op)
+		}
+	}
+	for _, op := range []Op{OpAdd, OpLd, OpSd, OpEcall} {
+		if op == OpLd || op == OpSd {
+			continue
+		}
+		if op.IsControl() {
+			t.Errorf("%v classified control", op)
+		}
+	}
+	if !OpLd.IsLoad() || OpLd.IsStore() {
+		t.Error("OpLd load/store predicates wrong")
+	}
+	if !OpSd.IsStore() || OpSd.IsLoad() {
+		t.Error("OpSd load/store predicates wrong")
+	}
+	if !OpFld.IsMem() || !OpFsd.IsMem() || OpAdd.IsMem() {
+		t.Error("IsMem misclassifies")
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	cases := map[Op]int{
+		OpLd: 8, OpSd: 8, OpFld: 8, OpFsd: 8,
+		OpLw: 4, OpLwu: 4, OpSw: 4,
+		OpLh: 2, OpLhu: 2, OpSh: 2,
+		OpLb: 1, OpLbu: 1, OpSb: 1,
+		OpAdd: 0, OpBeq: 0,
+	}
+	for op, want := range cases {
+		if got := op.MemBytes(); got != want {
+			t.Errorf("%v.MemBytes() = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestInstDest(t *testing.T) {
+	in := Inst{Op: OpAdd, Rd: A0, Rs1: A1, Rs2: A2, Rs3: RegNone}
+	if rd, ok := in.Dest(); !ok || rd != A0 {
+		t.Errorf("Dest() = %v,%v", rd, ok)
+	}
+	// Writes to x0 are architecturally void.
+	in.Rd = X0
+	if _, ok := in.Dest(); ok {
+		t.Error("write to x0 reported as destination")
+	}
+	in.Rd = RegNone
+	if _, ok := in.Dest(); ok {
+		t.Error("RegNone reported as destination")
+	}
+}
+
+func TestInstSources(t *testing.T) {
+	in := Inst{Op: OpFmadd, Rd: F(0), Rs1: F(1), Rs2: F(2), Rs3: F(3)}
+	srcs := in.Sources(nil)
+	if len(srcs) != 3 || srcs[0] != F(1) || srcs[1] != F(2) || srcs[2] != F(3) {
+		t.Errorf("Sources() = %v", srcs)
+	}
+	in = Inst{Op: OpAddi, Rd: A0, Rs1: A1, Rs2: RegNone, Rs3: RegNone}
+	srcs = in.Sources(srcs[:0])
+	if len(srcs) != 1 || srcs[0] != A1 {
+		t.Errorf("Sources() = %v", srcs)
+	}
+}
+
+func TestInstHelpers(t *testing.T) {
+	ld := Inst{Op: OpLd, Rd: A0, Rs1: A1, Rs2: RegNone, Rs3: RegNone}
+	if base, ok := ld.BaseReg(); !ok || base != A1 {
+		t.Errorf("BaseReg() = %v,%v", base, ok)
+	}
+	if _, ok := ld.StoreDataReg(); ok {
+		t.Error("load has a store data register")
+	}
+	sd := Inst{Op: OpSd, Rd: RegNone, Rs1: A1, Rs2: A2, Rs3: RegNone}
+	if data, ok := sd.StoreDataReg(); !ok || data != A2 {
+		t.Errorf("StoreDataReg() = %v,%v", data, ok)
+	}
+	add := Inst{Op: OpAdd, Rd: A0, Rs1: A1, Rs2: A2, Rs3: RegNone}
+	if _, ok := add.BaseReg(); ok {
+		t.Error("ALU op has a base register")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Nop, "nop"},
+		{Inst{Op: OpAdd, Rd: A0, Rs1: A1, Rs2: A2, Rs3: RegNone}, "add a0, a1, a2"},
+		{Inst{Op: OpAddi, Rd: A0, Rs1: A1, Rs2: RegNone, Rs3: RegNone, Imm: -4}, "addi a0, a1, -4"},
+		{Inst{Op: OpLd, Rd: A0, Rs1: SP, Rs2: RegNone, Rs3: RegNone, Imm: 16}, "ld a0, 16(sp)"},
+		{Inst{Op: OpSd, Rd: RegNone, Rs1: SP, Rs2: A0, Rs3: RegNone, Imm: 8}, "sd a0, 8(sp)"},
+		{Inst{Op: OpBeq, Rd: RegNone, Rs1: A0, Rs2: X0, Rs3: RegNone, Target: 0x1000}, "beq a0, zero, 0x1000"},
+		{Inst{Op: OpJal, Rd: RA, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone, Target: 0x2000}, "jal ra, 0x2000"},
+		{Inst{Op: OpEcall, Rd: RegNone, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone}, "ecall"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestProgramAt(t *testing.T) {
+	p := &Program{
+		Base:  0x1000,
+		Entry: 0x1000,
+		Insts: []Inst{Nop, {Op: OpAdd, Rd: A0, Rs1: A1, Rs2: A2, Rs3: RegNone}},
+	}
+	if in, ok := p.At(0x1000); !ok || in.Op != OpNop {
+		t.Error("At(base) failed")
+	}
+	if in, ok := p.At(0x1004); !ok || in.Op != OpAdd {
+		t.Error("At(base+4) failed")
+	}
+	if _, ok := p.At(0x1008); ok {
+		t.Error("At past end succeeded")
+	}
+	if _, ok := p.At(0x1002); ok {
+		t.Error("At unaligned succeeded")
+	}
+	if _, ok := p.At(0xfff); ok {
+		t.Error("At below base succeeded")
+	}
+	if p.End() != 0x1008 {
+		t.Errorf("End() = %#x", p.End())
+	}
+	if !p.Contains(0x1004) || p.Contains(0x1008) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestProgramSymbols(t *testing.T) {
+	p := &Program{Base: 0x1000, Symbols: map[string]uint64{"main": 0x1000}}
+	if a, ok := p.Symbol("main"); !ok || a != 0x1000 {
+		t.Error("Symbol lookup failed")
+	}
+	if _, ok := p.Symbol("nope"); ok {
+		t.Error("missing symbol found")
+	}
+	if got := p.MustSymbol("main"); got != 0x1000 {
+		t.Error("MustSymbol failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSymbol should panic on missing symbol")
+		}
+	}()
+	p.MustSymbol("nope")
+}
+
+func TestDisassembleContainsLabels(t *testing.T) {
+	p := &Program{
+		Base:    0x1000,
+		Insts:   []Inst{Nop, Nop},
+		Symbols: map[string]uint64{"main": 0x1000, "next": 0x1004},
+	}
+	d := p.Disassemble()
+	for _, want := range []string{"main:", "next:", "00001000", "nop"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}

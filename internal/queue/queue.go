@@ -1,0 +1,103 @@
+// Package queue implements the decoupling instruction queue between the
+// functional and the performance simulator. The functional side runs
+// ahead, filling the queue; the performance side consumes from it.
+//
+// The queue exposes the run-ahead to its consumer through Peek: the
+// convergence-exploitation technique "exploits the fact that the
+// functional model runs ahead of the performance model, so we can take
+// a peek in the future correct-path instructions" (§III-C). The queue
+// guarantees a configurable minimum lookahead by refilling from the
+// producer on demand; near program end, Peek simply reports that fewer
+// instructions remain (the paper's "skip the convergence check" case).
+package queue
+
+import "repro/internal/trace"
+
+// Producer supplies dynamic instructions; ok is false at program end.
+type Producer interface {
+	Next() (trace.DynInst, bool)
+}
+
+// Queue is a lookahead buffer over a Producer. It is not safe for
+// concurrent use; the parallel frontend mode wraps the producer, not
+// the queue.
+type Queue struct {
+	src  Producer
+	buf  []trace.DynInst // ring buffer
+	head int             // index of next instruction to pop
+	n    int             // live entries
+	done bool            // producer exhausted
+
+	// lookahead is the fill target maintained before every Pop.
+	lookahead int
+
+	popped uint64
+}
+
+// New creates a queue that keeps at least lookahead instructions
+// buffered (capacity permitting) ahead of the consumer.
+func New(src Producer, lookahead int) *Queue {
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	cap_ := 1
+	for cap_ < lookahead+1 {
+		cap_ *= 2
+	}
+	return &Queue{src: src, buf: make([]trace.DynInst, cap_), lookahead: lookahead}
+}
+
+func (q *Queue) fill(target int) {
+	if target > len(q.buf) {
+		target = len(q.buf)
+	}
+	for !q.done && q.n < target {
+		di, ok := q.src.Next()
+		if !ok {
+			q.done = true
+			return
+		}
+		q.buf[(q.head+q.n)&(len(q.buf)-1)] = di
+		q.n++
+	}
+}
+
+// Pop removes and returns the next instruction; ok is false when the
+// program has ended.
+func (q *Queue) Pop() (trace.DynInst, bool) {
+	q.fill(q.lookahead)
+	if q.n == 0 {
+		return trace.DynInst{}, false
+	}
+	di := q.buf[q.head]
+	q.buf[q.head] = trace.DynInst{} // release any attached WP stream
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	q.popped++
+	return di, true
+}
+
+// Peek returns the i-th instruction ahead (0 = the one the next Pop
+// returns) without consuming it, refilling from the producer as needed.
+// ok is false when fewer than i+1 instructions remain in the program.
+func (q *Queue) Peek(i int) (trace.DynInst, bool) {
+	if i >= len(q.buf) {
+		return trace.DynInst{}, false
+	}
+	if i >= q.n {
+		q.fill(i + 1)
+		if i >= q.n {
+			return trace.DynInst{}, false
+		}
+	}
+	return q.buf[(q.head+i)&(len(q.buf)-1)], true
+}
+
+// Len returns the number of currently buffered instructions.
+func (q *Queue) Len() int { return q.n }
+
+// Popped returns the number of instructions consumed so far.
+func (q *Queue) Popped() uint64 { return q.popped }
+
+// Lookahead returns the guaranteed fill target.
+func (q *Queue) Lookahead() int { return q.lookahead }

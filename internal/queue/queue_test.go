@@ -1,0 +1,140 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+// sliceProducer yields a fixed sequence.
+type sliceProducer struct {
+	seq []trace.DynInst
+	i   int
+	// calls counts Next invocations (to observe laziness).
+	calls int
+}
+
+func (p *sliceProducer) Next() (trace.DynInst, bool) {
+	p.calls++
+	if p.i >= len(p.seq) {
+		return trace.DynInst{}, false
+	}
+	d := p.seq[p.i]
+	p.i++
+	return d, true
+}
+
+func mkSeq(n int) []trace.DynInst {
+	out := make([]trace.DynInst, n)
+	for i := range out {
+		out[i] = trace.DynInst{Seq: uint64(i), PC: uint64(0x1000 + 4*i)}
+	}
+	return out
+}
+
+func TestPopOrder(t *testing.T) {
+	q := New(&sliceProducer{seq: mkSeq(100)}, 8)
+	for i := 0; i < 100; i++ {
+		d, ok := q.Pop()
+		if !ok || d.Seq != uint64(i) {
+			t.Fatalf("pop %d = %+v, %v", i, d, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("pop past end succeeded")
+	}
+	if q.Popped() != 100 {
+		t.Errorf("Popped = %d", q.Popped())
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	q := New(&sliceProducer{seq: mkSeq(50)}, 16)
+	for i := 0; i < 10; i++ {
+		d, ok := q.Peek(i)
+		if !ok || d.Seq != uint64(i) {
+			t.Fatalf("peek %d = %+v, %v", i, d, ok)
+		}
+	}
+	// Still pops from the beginning.
+	if d, _ := q.Pop(); d.Seq != 0 {
+		t.Error("peek consumed instructions")
+	}
+	// Peek indices shift after a pop.
+	if d, _ := q.Peek(0); d.Seq != 1 {
+		t.Error("peek after pop wrong")
+	}
+}
+
+func TestPeekBeyondEnd(t *testing.T) {
+	q := New(&sliceProducer{seq: mkSeq(5)}, 16)
+	if _, ok := q.Peek(4); !ok {
+		t.Error("peek at last failed")
+	}
+	if _, ok := q.Peek(5); ok {
+		t.Error("peek past end succeeded")
+	}
+	// All five still poppable.
+	for i := 0; i < 5; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+	}
+}
+
+func TestPeekBeyondCapacity(t *testing.T) {
+	q := New(&sliceProducer{seq: mkSeq(1000)}, 8) // capacity rounded to ≥ 9
+	if _, ok := q.Peek(len(q.buf)); ok {
+		t.Error("peek beyond ring capacity succeeded")
+	}
+}
+
+func TestLookaheadMaintained(t *testing.T) {
+	p := &sliceProducer{seq: mkSeq(100)}
+	q := New(p, 10)
+	q.Pop()
+	// The queue refills to the lookahead target before each pop, so at
+	// least lookahead-1 instructions remain buffered afterwards.
+	if q.Len() < 9 {
+		t.Errorf("lookahead after pop = %d, want >= 9", q.Len())
+	}
+	// The producer has been drawn on beyond the consumed instruction
+	// (run-ahead), but not exhaustively.
+	if p.i < 10 || p.i == len(p.seq) {
+		t.Errorf("producer position = %d", p.i)
+	}
+}
+
+func TestLookaheadFloor(t *testing.T) {
+	q := New(&sliceProducer{seq: mkSeq(10)}, 0)
+	if q.Lookahead() != 1 {
+		t.Errorf("lookahead = %d, want 1", q.Lookahead())
+	}
+	if _, ok := q.Pop(); !ok {
+		t.Error("pop failed")
+	}
+}
+
+// TestQuickPeekPopAgreement: whatever Peek(i) returned is exactly what
+// the (i+1)-th subsequent Pop returns.
+func TestQuickPeekPopAgreement(t *testing.T) {
+	f := func(n0, la0, i0 uint8) bool {
+		n := int(n0)%200 + 20
+		la := int(la0)%32 + 1
+		i := int(i0) % 16
+		q := New(&sliceProducer{seq: mkSeq(n)}, la)
+		want, ok := q.Peek(i)
+		if !ok {
+			return true
+		}
+		var got trace.DynInst
+		for k := 0; k <= i; k++ {
+			got, _ = q.Pop()
+		}
+		return got.Seq == want.Seq && got.PC == want.PC
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,289 @@
+// Package sim wires the full functional-first simulator together:
+// functional CPU → frontend (with optional wrong-path emulation) →
+// decoupling queue → out-of-order core with a wrong-path policy. It is
+// the library's primary public surface: construct a Config, point it at
+// a workload instance, and Run.
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/frontend"
+	"repro/internal/functional"
+	"repro/internal/queue"
+	"repro/internal/workloads"
+	"repro/internal/wrongpath"
+)
+
+// Config configures one simulation.
+type Config struct {
+	// Core is the timing-model configuration.
+	Core core.Config
+	// WP selects the wrong-path modeling technique.
+	WP wrongpath.Kind
+	// MaxInsts caps the simulated correct-path instructions
+	// (0 = run to program completion).
+	MaxInsts uint64
+	// WarmupInsts functionally warms caches, TLBs, predictor and code
+	// cache with this many instructions before detailed simulation —
+	// the warming phase of sampled simulation (the paper simulates
+	// SimPoint samples; warming plays the same role here).
+	WarmupInsts uint64
+	// QueueLookahead overrides the decoupling queue's guaranteed
+	// run-ahead; 0 selects the default, 2×ROB + front-end buffer + a
+	// margin, which is what convergence detection needs to never stall.
+	QueueLookahead int
+	// PolicyFactory overrides the wrong-path policy construction (used
+	// by the ablation experiments, e.g. conv without the independence
+	// check). When nil, wrongpath.New(WP) is used. WP should still name
+	// the closest standard kind (it controls frontend emulation).
+	PolicyFactory func() wrongpath.Policy
+	// ParallelFrontend runs the functional simulator in its own
+	// goroutine, overlapping it with the performance simulation — the
+	// decoupling speedup the paper attributes to functional-first
+	// simulation. Results are bit-identical to the synchronous mode.
+	ParallelFrontend bool
+}
+
+// Default returns the Golden-Cove-like configuration with the given
+// wrong-path technique.
+func Default(wp wrongpath.Kind) Config {
+	return Config{Core: core.DefaultConfig(), WP: wp}
+}
+
+func (c Config) lookahead() int {
+	if c.QueueLookahead > 0 {
+		return c.QueueLookahead
+	}
+	return 2*c.Core.ROBSize + c.Core.FrontendBuffer + 64
+}
+
+// Result collects everything a simulation produces.
+type Result struct {
+	// WP is the technique that ran.
+	WP wrongpath.Kind
+	// Core holds the pipeline-level statistics (cycles, IPC, branches,
+	// wrong-path instruction counts).
+	Core core.Stats
+	// Policy holds the wrong-path policy statistics (convergence
+	// metrics for the conv technique).
+	Policy wrongpath.Stats
+	// Cache statistics per level, split correct/wrong path.
+	L1I, L1D, L2, LLC cache.LevelStats
+	// TLB statistics (zero when the TLBs are disabled).
+	ITLB, DTLB cache.LevelStats
+	// MemAccesses counts DRAM accesses; WrongMemAccesses those issued
+	// by wrong-path requests.
+	MemAccesses      uint64
+	WrongMemAccesses uint64
+	// FunctionalInsts is the number of correct-path instructions the
+	// functional simulator executed.
+	FunctionalInsts uint64
+	// WPEmulatedPaths/Insts count the frontend's functional wrong-path
+	// emulations (wpemul mode only).
+	WPEmulatedPaths uint64
+	WPEmulatedInsts uint64
+	// Output is the program's printed output.
+	Output []byte
+	// Wall is the host wall-clock time of the run (for the paper's
+	// simulation-speed comparison).
+	Wall time.Duration
+	// Err records a functional-simulation error that ended the run
+	// early, if any.
+	Err error
+}
+
+// IPC returns the projected instructions per cycle.
+func (r *Result) IPC() float64 { return r.Core.IPC() }
+
+// Run simulates the workload instance under the configuration.
+func Run(cfg Config, inst *workloads.Instance) (*Result, error) {
+	if err := cfg.Core.Validate(); err != nil {
+		return nil, err
+	}
+	cpu := functional.New(inst.Prog, inst.Mem, inst.StackTop)
+	opts := []frontend.Option{}
+	if cfg.WP == wrongpath.WPEmul {
+		opts = append(opts, frontend.WithWrongPathEmulation(cfg.Core.BranchPred, cfg.Core.WPMaxLen()))
+	}
+	if cfg.MaxInsts > 0 {
+		// Bound the functional side explicitly so a parallel frontend
+		// does not run past the budget the core will simulate.
+		opts = append(opts, frontend.WithMaxInstructions(cfg.WarmupInsts+cfg.MaxInsts+uint64(cfg.lookahead())+1))
+	}
+	fe := frontend.New(cpu, opts...)
+	var producer queue.Producer = fe
+	var par *frontend.Parallel
+	if cfg.ParallelFrontend {
+		par = frontend.NewParallel(fe, frontend.DefaultBatch, frontend.DefaultDepth)
+		producer = par
+	}
+	q := queue.New(producer, cfg.lookahead())
+	var policy wrongpath.Policy
+	if cfg.PolicyFactory != nil {
+		policy = cfg.PolicyFactory()
+	} else {
+		policy = wrongpath.New(cfg.WP)
+	}
+	c, err := core.New(cfg.Core, q, policy)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	stats := c.RunWarmup(cfg.WarmupInsts, cfg.MaxInsts)
+	wall := time.Since(start)
+	if par != nil {
+		// Stop the producer goroutine before reading functional-side
+		// state (Output, Produced) to avoid racing with it.
+		par.Close()
+	}
+
+	h := c.Hierarchy()
+	paths, insts := fe.WPEmulations()
+	res := &Result{
+		WP:               cfg.WP,
+		Core:             stats,
+		Policy:           *policy.Stats(),
+		L1I:              h.L1I().Stats,
+		L1D:              h.L1D().Stats,
+		L2:               h.L2().Stats,
+		LLC:              h.LLC().Stats,
+		MemAccesses:      h.MemAccesses,
+		WrongMemAccesses: h.WrongMemAccesses,
+		FunctionalInsts:  fe.Produced(),
+		WPEmulatedPaths:  paths,
+		WPEmulatedInsts:  insts,
+		Output:           cpu.Output,
+		Wall:             wall,
+		Err:              fe.Err(),
+	}
+	if h.ITLB() != nil {
+		res.ITLB = h.ITLB().Stats
+	}
+	if h.DTLB() != nil {
+		res.DTLB = h.DTLB().Stats
+	}
+	return res, nil
+}
+
+// RunTrace simulates a pre-recorded instruction trace (see
+// internal/tracefile). Per the paper's §III-B, a trace frontend cannot
+// support functional wrong-path emulation — the trace only contains
+// correct-path instructions — so wrongpath.WPEmul is rejected; every
+// reconstruction-based technique works, because those only need the
+// decode information and run-ahead that the trace preserves.
+func RunTrace(cfg Config, src queue.Producer) (*Result, error) {
+	if err := cfg.Core.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.WP == wrongpath.WPEmul {
+		return nil, fmt.Errorf("sim: wrong-path emulation requires a live functional frontend, not a trace (paper §III-B)")
+	}
+	q := queue.New(src, cfg.lookahead())
+	var policy wrongpath.Policy
+	if cfg.PolicyFactory != nil {
+		policy = cfg.PolicyFactory()
+	} else {
+		policy = wrongpath.New(cfg.WP)
+	}
+	c, err := core.New(cfg.Core, q, policy)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	stats := c.RunWarmup(cfg.WarmupInsts, cfg.MaxInsts)
+	wall := time.Since(start)
+	h := c.Hierarchy()
+	res := &Result{
+		WP:               cfg.WP,
+		Core:             stats,
+		Policy:           *policy.Stats(),
+		L1I:              h.L1I().Stats,
+		L1D:              h.L1D().Stats,
+		L2:               h.L2().Stats,
+		LLC:              h.LLC().Stats,
+		MemAccesses:      h.MemAccesses,
+		WrongMemAccesses: h.WrongMemAccesses,
+		FunctionalInsts:  stats.Instructions,
+		Wall:             wall,
+	}
+	if h.ITLB() != nil {
+		res.ITLB = h.ITLB().Stats
+	}
+	if h.DTLB() != nil {
+		res.DTLB = h.DTLB().Stats
+	}
+	return res, nil
+}
+
+// Error is the paper's accuracy metric: the relative difference in
+// projected performance (IPC) between a technique and the reference
+// (wrong-path emulation). Negative means the technique underestimates
+// performance.
+func Error(tech, ref *Result) float64 {
+	if ref.IPC() == 0 {
+		return 0
+	}
+	return (tech.IPC() - ref.IPC()) / ref.IPC()
+}
+
+// RunAll simulates the instance-factory under every technique and
+// returns results indexed by kind. A fresh instance is built per run so
+// each technique sees pristine state.
+func RunAll(cfg Config, w workloads.Workload) (map[wrongpath.Kind]*Result, error) {
+	out := make(map[wrongpath.Kind]*Result, 5)
+	for _, k := range []wrongpath.Kind{wrongpath.NoWP, wrongpath.InstRec, wrongpath.Conv, wrongpath.ConvResolve, wrongpath.WPEmul} {
+		inst, err := w.Build()
+		if err != nil {
+			return nil, fmt.Errorf("sim: building %s/%s: %w", w.Suite, w.Name, err)
+		}
+		c := cfg
+		c.WP = k
+		if c.MaxInsts == 0 {
+			c.MaxInsts = inst.SuggestedMaxInsts
+		}
+		r, err := Run(c, inst)
+		if err != nil {
+			return nil, fmt.Errorf("sim: running %s/%s under %v: %w", w.Suite, w.Name, k, err)
+		}
+		out[k] = r
+	}
+	return out, nil
+}
+
+// DescribeConfig renders the core configuration as the paper's Table I:
+// the simulated core parameters.
+func DescribeConfig(cfg core.Config) string {
+	var b strings.Builder
+	h := cfg.Hierarchy
+	fmt.Fprintf(&b, "%-28s %d-wide fetch, %d-wide dispatch, %d-wide issue, %d-wide commit\n",
+		"Pipeline", cfg.FetchWidth, cfg.DispatchWidth, cfg.IssueWidth, cfg.CommitWidth)
+	fmt.Fprintf(&b, "%-28s %d entries (+%d front-end buffer)\n", "Reorder buffer", cfg.ROBSize, cfg.FrontendBuffer)
+	fmt.Fprintf(&b, "%-28s %d cycles front-end depth, %d cycles redirect penalty\n",
+		"Pipeline depth", cfg.FetchToDispatch, cfg.RedirectPenalty)
+	fmt.Fprintf(&b, "%-28s tournament bimodal(%d)+gshare(%d), %d-entry RAS, %d-entry indirect\n",
+		"Branch predictor",
+		1<<uint(cfg.BranchPred.BimodalBits), 1<<uint(cfg.BranchPred.GShareBits),
+		cfg.BranchPred.RASSize, 1<<uint(cfg.BranchPred.IndirectBits))
+	for _, lv := range []cache.Config{h.L1I, h.L1D, h.L2, h.LLC} {
+		fmt.Fprintf(&b, "%-28s %d KB, %d-way, %d B lines, %d-cycle hit\n",
+			lv.Name, lv.SizeBytes>>10, lv.Ways, lv.LineBytes, lv.HitLatency)
+	}
+	if h.ITLB.Entries > 0 {
+		fmt.Fprintf(&b, "%-28s %d entries, %d-way, %d-cycle walk\n", "ITLB", h.ITLB.Entries, h.ITLB.Ways, h.ITLB.WalkLatency)
+	}
+	if h.DTLB.Entries > 0 {
+		fmt.Fprintf(&b, "%-28s %d entries, %d-way, %d-cycle walk\n", "DTLB", h.DTLB.Entries, h.DTLB.Ways, h.DTLB.WalkLatency)
+	}
+	fmt.Fprintf(&b, "%-28s %d cycles\n", "Memory latency", h.MemLatency)
+	if h.MemGapCycles > 0 {
+		fmt.Fprintf(&b, "%-28s 1 line / %d cycles\n", "Memory bandwidth", h.MemGapCycles)
+	}
+	fmt.Fprintf(&b, "%-28s %d-entry store queue\n", "Store queue", cfg.StoreQueueSize)
+	return b.String()
+}

@@ -1,0 +1,27 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestPredicates(t *testing.T) {
+	none := isa.RegNone
+	ld := DynInst{In: isa.Inst{Op: isa.OpLd, Rd: isa.A0, Rs1: isa.A1, Rs2: none, Rs3: none}}
+	if !ld.IsMem() || ld.IsControl() {
+		t.Error("load predicates wrong")
+	}
+	br := DynInst{In: isa.Inst{Op: isa.OpBne, Rd: none, Rs1: isa.A0, Rs2: isa.A1, Rs3: none}}
+	if br.IsMem() || !br.IsControl() {
+		t.Error("branch predicates wrong")
+	}
+	jr := DynInst{In: isa.Inst{Op: isa.OpJalr, Rd: isa.X0, Rs1: isa.RA, Rs2: none, Rs3: none}}
+	if !jr.IsControl() {
+		t.Error("jalr not control")
+	}
+	add := DynInst{In: isa.Inst{Op: isa.OpAdd, Rd: isa.A0, Rs1: isa.A1, Rs2: isa.A2, Rs3: none}}
+	if add.IsMem() || add.IsControl() {
+		t.Error("alu predicates wrong")
+	}
+}

@@ -1,0 +1,233 @@
+// Package tracefile records and replays dynamic instruction streams —
+// the third kind of functional frontend the paper lists ("a trace
+// interpreter (for pre-recorded instruction traces)"). A recorded trace
+// replays bit-identically through the performance simulator under the
+// nowp, instrec, conv and convres techniques.
+//
+// The paper's §III-B limitation is enforced here: "a trace frontend
+// cannot implement [functional wrong-path emulation], because the trace
+// only contains correct-path instructions" — sim.RunTrace rejects
+// wrongpath.WPEmul, and the writer strips any attached wrong-path
+// streams.
+//
+// Format (little-endian, varint-based):
+//
+//	magic "WPTRACE1"
+//	per record:
+//	  flags byte (bit0 hasAddr, bit1 taken, bit2 exit, bit3 nextPC!=pc+4)
+//	  op, rd, rs1, rs2, rs3 bytes
+//	  pc delta (zigzag varint from previous record's pc)
+//	  imm (zigzag varint), target (uvarint, control ops only)
+//	  memAddr (uvarint, hasAddr only), nextPC (uvarint, flag bit3 only)
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+var magic = []byte("WPTRACE1")
+
+// ErrBadMagic is returned for streams that are not traces.
+var ErrBadMagic = errors.New("tracefile: bad magic")
+
+const (
+	flagHasAddr = 1 << iota
+	flagTaken
+	flagExit
+	flagNextPC
+)
+
+// Writer serializes dynamic instruction records.
+type Writer struct {
+	w      *bufio.Writer
+	lastPC uint64
+	count  uint64
+	buf    []byte
+}
+
+// NewWriter starts a trace on w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, buf: make([]byte, binary.MaxVarintLen64)}, nil
+}
+
+func (w *Writer) varint(v int64) error {
+	n := binary.PutVarint(w.buf, v)
+	_, err := w.w.Write(w.buf[:n])
+	return err
+}
+
+func (w *Writer) uvarint(v uint64) error {
+	n := binary.PutUvarint(w.buf, v)
+	_, err := w.w.Write(w.buf[:n])
+	return err
+}
+
+// Append writes one record. Attached wrong-path streams (wpemul mode)
+// are deliberately not representable in a trace and are dropped.
+func (w *Writer) Append(di *trace.DynInst) error {
+	var flags byte
+	if di.HasAddr {
+		flags |= flagHasAddr
+	}
+	if di.Taken {
+		flags |= flagTaken
+	}
+	if di.Exit {
+		flags |= flagExit
+	}
+	if di.NextPC != di.PC+isa.InstBytes {
+		flags |= flagNextPC
+	}
+	hdr := []byte{flags, byte(di.In.Op), byte(di.In.Rd), byte(di.In.Rs1), byte(di.In.Rs2), byte(di.In.Rs3)}
+	if _, err := w.w.Write(hdr); err != nil {
+		return err
+	}
+	if err := w.varint(int64(di.PC - w.lastPC)); err != nil {
+		return err
+	}
+	w.lastPC = di.PC
+	if err := w.varint(di.In.Imm); err != nil {
+		return err
+	}
+	if di.In.Op.IsControl() {
+		if err := w.uvarint(di.In.Target); err != nil {
+			return err
+		}
+	}
+	if di.HasAddr {
+		if err := w.uvarint(di.MemAddr); err != nil {
+			return err
+		}
+	}
+	if flags&flagNextPC != 0 {
+		if err := w.uvarint(di.NextPC); err != nil {
+			return err
+		}
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader replays a trace; it implements queue.Producer.
+type Reader struct {
+	r      *bufio.Reader
+	lastPC uint64
+	seq    uint64
+	err    error
+	done   bool
+}
+
+// NewReader opens a trace stream.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("tracefile: reading magic: %w", err)
+	}
+	for i := range magic {
+		if got[i] != magic[i] {
+			return nil, ErrBadMagic
+		}
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next record; ok is false at end of trace or on a
+// corrupt stream (check Err).
+func (r *Reader) Next() (trace.DynInst, bool) {
+	if r.done {
+		return trace.DynInst{}, false
+	}
+	var hdr [6]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		r.done = true
+		if err != io.EOF {
+			r.err = err
+		}
+		return trace.DynInst{}, false
+	}
+	fail := func(err error) (trace.DynInst, bool) {
+		r.done = true
+		r.err = err
+		return trace.DynInst{}, false
+	}
+	flags := hdr[0]
+	di := trace.DynInst{
+		Seq: r.seq,
+		In: isa.Inst{
+			Op: isa.Op(hdr[1]), Rd: isa.Reg(hdr[2]),
+			Rs1: isa.Reg(hdr[3]), Rs2: isa.Reg(hdr[4]), Rs3: isa.Reg(hdr[5]),
+		},
+		HasAddr: flags&flagHasAddr != 0,
+		Taken:   flags&flagTaken != 0,
+		Exit:    flags&flagExit != 0,
+	}
+	delta, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return fail(err)
+	}
+	di.PC = r.lastPC + uint64(delta)
+	r.lastPC = di.PC
+	if di.In.Imm, err = binary.ReadVarint(r.r); err != nil {
+		return fail(err)
+	}
+	if di.In.Op.IsControl() {
+		if di.In.Target, err = binary.ReadUvarint(r.r); err != nil {
+			return fail(err)
+		}
+	}
+	if di.HasAddr {
+		if di.MemAddr, err = binary.ReadUvarint(r.r); err != nil {
+			return fail(err)
+		}
+	}
+	di.NextPC = di.PC + isa.InstBytes
+	if flags&flagNextPC != 0 {
+		if di.NextPC, err = binary.ReadUvarint(r.r); err != nil {
+			return fail(err)
+		}
+	}
+	r.seq++
+	return di, true
+}
+
+// Err reports a stream corruption that ended replay early.
+func (r *Reader) Err() error { return r.err }
+
+// Producer is the minimal instruction source interface (a structural
+// copy of queue.Producer, avoiding the import cycle).
+type Producer interface {
+	Next() (trace.DynInst, bool)
+}
+
+// Record drains a producer into the writer and returns the record
+// count. It flushes the writer.
+func Record(src Producer, w *Writer) (uint64, error) {
+	for {
+		di, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := w.Append(&di); err != nil {
+			return w.Count(), err
+		}
+	}
+	return w.Count(), w.Flush()
+}

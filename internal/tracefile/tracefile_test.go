@@ -1,0 +1,160 @@
+package tracefile_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/frontend"
+	"repro/internal/functional"
+	"repro/internal/sim"
+	"repro/internal/tracefile"
+	"repro/internal/workloads/gap"
+	"repro/internal/wrongpath"
+)
+
+func recordBFS(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	inst := gap.BFS(gap.TestParams()).MustBuild()
+	cpu := functional.New(inst.Prog, inst.Mem, inst.StackTop)
+	fe := frontend.New(cpu)
+	var buf bytes.Buffer
+	w, err := tracefile.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := tracefile.Record(fe, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("empty trace")
+	}
+	return &buf
+}
+
+func TestRoundTripMatchesLiveStream(t *testing.T) {
+	buf := recordBFS(t)
+
+	// Re-generate the live stream and compare record by record.
+	inst := gap.BFS(gap.TestParams()).MustBuild()
+	fe := frontend.New(functional.New(inst.Prog, inst.Mem, inst.StackTop))
+	r, err := tracefile.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for {
+		want, okW := fe.Next()
+		got, okG := r.Next()
+		if okW != okG {
+			t.Fatalf("record %d: live ok=%v, trace ok=%v", i, okW, okG)
+		}
+		if !okW {
+			break
+		}
+		if got.PC != want.PC || got.In != want.In || got.MemAddr != want.MemAddr ||
+			got.HasAddr != want.HasAddr || got.Taken != want.Taken ||
+			got.NextPC != want.NextPC || got.Exit != want.Exit {
+			t.Fatalf("record %d differs:\n got %+v\nwant %+v", i, got, want)
+		}
+		i++
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestTraceSimulationMatchesLive(t *testing.T) {
+	buf := recordBFS(t)
+	for _, k := range []wrongpath.Kind{wrongpath.NoWP, wrongpath.InstRec, wrongpath.Conv, wrongpath.ConvResolve} {
+		live, err := sim.Run(sim.Default(k), gap.BFS(gap.TestParams()).MustBuild())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := tracefile.NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay, err := sim.RunTrace(sim.Default(k), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if live.Core.Cycles != replay.Core.Cycles || live.Core.Instructions != replay.Core.Instructions {
+			t.Errorf("%v: trace replay (%d cycles) != live (%d cycles)",
+				k, replay.Core.Cycles, live.Core.Cycles)
+		}
+		if live.Core.WPFetched != replay.Core.WPFetched {
+			t.Errorf("%v: wrong-path divergence: %d vs %d", k, replay.Core.WPFetched, live.Core.WPFetched)
+		}
+	}
+}
+
+func TestTraceRejectsWPEmul(t *testing.T) {
+	buf := recordBFS(t)
+	r, err := tracefile.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunTrace(sim.Default(wrongpath.WPEmul), r); err == nil {
+		t.Fatal("trace replay accepted wpemul — the paper says it cannot work")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := tracefile.NewReader(bytes.NewReader([]byte("NOTATRACE"))); !errors.Is(err, tracefile.ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedTrace(t *testing.T) {
+	buf := recordBFS(t)
+	cut := buf.Bytes()[:buf.Len()/2]
+	r, err := tracefile.NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		t.Error("no records before truncation point")
+	}
+	if r.Err() == nil {
+		t.Error("truncation not reported")
+	}
+}
+
+func TestWriterStripsWPStreams(t *testing.T) {
+	// Record through a wpemul frontend (records carry WP streams) and
+	// check replay still works and carries none.
+	inst := gap.BFS(gap.TestParams()).MustBuild()
+	cpu := functional.New(inst.Prog, inst.Mem, inst.StackTop)
+	cfg := sim.Default(wrongpath.WPEmul)
+	fe := frontend.New(cpu, frontend.WithWrongPathEmulation(cfg.Core.BranchPred, cfg.Core.WPMaxLen()))
+	var buf bytes.Buffer
+	w, err := tracefile.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tracefile.Record(fe, w); err != nil {
+		t.Fatal(err)
+	}
+	r, err := tracefile.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		di, ok := r.Next()
+		if !ok {
+			break
+		}
+		if di.WP != nil {
+			t.Fatal("trace replay produced an attached wrong-path stream")
+		}
+	}
+}

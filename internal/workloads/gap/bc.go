@@ -1,0 +1,197 @@
+package gap
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/functional"
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// bcSource is single-source betweenness centrality (Brandes): a BFS
+// phase counting shortest paths (sigma) followed by a reverse-order
+// dependency-accumulation phase (delta). Both phases are dominated by
+// data-dependent branches on sparse loads (depth comparisons).
+const bcSource = `
+# bc: betweenness centrality, one source (Brandes)
+# AUX1 = depth (i64, -1 unvisited), AUX2 = sigma (u64), AUX3 = delta (f64)
+.entry main
+main:
+    la   s0, OFF
+    la   s1, ADJ
+    la   s2, QUEUE
+    la   s3, AUX1           # depth
+    la   s4, AUX2           # sigma
+    la   s8, AUX3           # delta
+    li   s5, 0              # head
+    li   t0, SRC
+    sd   t0, 0(s2)
+    li   s6, 1              # tail
+    slli t1, t0, 3
+    add  t2, t1, s3
+    sd   zero, 0(t2)        # depth[src] = 0
+    add  t2, t1, s4
+    li   t3, 1
+    sd   t3, 0(t2)          # sigma[src] = 1
+bfsloop:
+    bge  s5, s6, phase2
+    slli t0, s5, 3
+    add  t0, t0, s2
+    ld   t1, 0(t0)          # u
+    addi s5, s5, 1
+    slli t0, t1, 3
+    add  t2, t0, s3
+    ld   a0, 0(t2)          # depth[u]
+    add  t2, t0, s4
+    ld   a1, 0(t2)          # sigma[u]
+    add  t2, t0, s0
+    ld   t3, 0(t2)          # e
+    ld   t4, 8(t2)          # end
+    addi a0, a0, 1          # du+1
+bfsinner:
+    bge  t3, t4, bfsloop
+    slli t5, t3, 3
+    add  t5, t5, s1
+    ld   a4, 0(t5)          # v
+    addi t3, t3, 1
+    slli t6, a4, 3
+    add  a2, t6, s3
+    ld   a3, 0(a2)          # depth[v] (sparse load)
+    bgez a3, chk            # already discovered?
+    sd   a0, 0(a2)          # depth[v] = du+1
+    slli a5, s6, 3
+    add  a5, a5, s2
+    sd   a4, 0(a5)          # queue[tail] = v
+    addi s6, s6, 1
+    mv   a3, a0
+chk:
+    bne  a3, a0, bfsinner   # not on a shortest path (data-dependent)
+    add  a6, t6, s4
+    ld   a7, 0(a6)
+    add  a7, a7, a1         # sigma[v] += sigma[u]
+    sd   a7, 0(a6)
+    j    bfsinner
+phase2:
+    addi s5, s6, -1         # i = tail-1, reverse BFS order
+ph2loop:
+    bltz s5, done
+    slli t0, s5, 3
+    add  t0, t0, s2
+    ld   t1, 0(t0)          # w
+    addi s5, s5, -1
+    slli t0, t1, 3
+    add  t2, t0, s3
+    ld   a0, 0(t2)          # depth[w]
+    add  t2, t0, s4
+    ld   a1, 0(t2)          # sigma[w]
+    add  t2, t0, s8
+    fld  f0, 0(t2)          # delta[w]
+    fcvt.d.l f1, a1         # sigma[w] as double
+    add  t2, t0, s0
+    ld   t3, 0(t2)          # e
+    ld   t4, 8(t2)          # end
+    addi a0, a0, 1          # dw+1
+    li   a6, 1
+    fcvt.d.l f6, a6         # 1.0
+ph2inner:
+    bge  t3, t4, ph2store
+    slli t5, t3, 3
+    add  t5, t5, s1
+    ld   a2, 0(t5)          # v
+    addi t3, t3, 1
+    slli a2, a2, 3
+    add  a3, a2, s3
+    ld   a4, 0(a3)          # depth[v] (sparse load)
+    bne  a4, a0, ph2inner   # v is not a successor (data-dependent)
+    add  a3, a2, s4
+    ld   a5, 0(a3)          # sigma[v]
+    add  a3, a2, s8
+    fld  f2, 0(a3)          # delta[v]
+    fcvt.d.l f3, a5
+    fadd f2, f2, f6         # 1 + delta[v]
+    fdiv f3, f1, f3         # sigma[w]/sigma[v]
+    fmul f2, f2, f3
+    fadd f0, f0, f2         # delta[w] += ...
+    j    ph2inner
+ph2store:
+    slli t0, t1, 3
+    add  t2, t0, s8
+    fsd  f0, 0(t2)
+    j    ph2loop
+done:
+    mv   a0, s6             # exit code = visited count
+    li   a7, 0
+    ecall
+`
+
+// BC returns the betweenness-centrality workload.
+func BC(p Params) workloads.Workload {
+	return kernel{
+		name:     "bc",
+		source:   bcSource,
+		maxInsts: 8_000_000,
+		init: func(g *graph.CSR, m *mem.Memory) {
+			fillUint64(m, aux1Base, g.N, ^uint64(0)) // depth = -1
+		},
+		validate: validateBC,
+	}.workload(p)
+}
+
+// bcReference replicates the kernel exactly: same BFS visit order, same
+// sigma accumulation, same reverse-order float arithmetic.
+func bcReference(g *graph.CSR, src int) (delta []float64, visited int64) {
+	n := g.N
+	depth := make([]int64, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	sigma := make([]uint64, n)
+	delta = make([]float64, n)
+	queue := make([]uint64, 0, n)
+	queue = append(queue, uint64(src))
+	depth[src] = 0
+	sigma[src] = 1
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du1 := depth[u] + 1
+		for _, v := range g.Adj(int(u)) {
+			if depth[v] < 0 {
+				depth[v] = du1
+				queue = append(queue, v)
+			}
+			if depth[v] == du1 {
+				sigma[v] += sigma[u]
+			}
+		}
+	}
+	for i := len(queue) - 1; i >= 0; i-- {
+		w := queue[i]
+		dw1 := depth[w] + 1
+		dw := delta[w]
+		sw := float64(int64(sigma[w]))
+		for _, v := range g.Adj(int(w)) {
+			if depth[v] != dw1 {
+				continue
+			}
+			dw += (delta[v] + 1.0) * (sw / float64(int64(sigma[v])))
+		}
+		delta[w] = dw
+	}
+	return delta, int64(len(queue))
+}
+
+func validateBC(g *graph.CSR, cpu *functional.CPU) error {
+	want, visited := bcReference(g, source(g))
+	if got := cpu.ExitCode(); got != visited {
+		return fmt.Errorf("bc: visited count = %d, want %d", got, visited)
+	}
+	for v := 0; v < g.N; v++ {
+		got := cpu.Mem.ReadFloat64(aux3Base + uint64(v)*8)
+		if math.Abs(got-want[v]) > 1e-9*(1+math.Abs(want[v])) {
+			return fmt.Errorf("bc: delta[%d] = %g, want %g", v, got, want[v])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package gap
+
+import (
+	"fmt"
+
+	"repro/internal/functional"
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// bfsSource is top-down breadth-first search with an explicit frontier
+// queue. PARENT (AUX1) is initialized to -1; the inner loop's
+// visited-check branch depends on a sparse load of parent[v] — the
+// data-dependent, cache-missing branch that drives wrong-path activity.
+const bfsSource = `
+# bfs: top-down breadth-first search
+# AUX1 = parent array (u64, -1 = unvisited), QUEUE = frontier
+.entry main
+main:
+    la   s0, OFF
+    la   s1, ADJ
+    la   s2, QUEUE
+    la   s5, AUX1
+    li   s3, 0              # head
+    li   t0, SRC
+    sd   t0, 0(s2)          # queue[0] = src
+    li   s4, 1              # tail
+    slli t1, t0, 3
+    add  t1, t1, s5
+    sd   t0, 0(t1)          # parent[src] = src
+loop:
+    bge  s3, s4, done
+    slli t0, s3, 3
+    add  t0, t0, s2
+    ld   t1, 0(t0)          # u = queue[head]
+    addi s3, s3, 1
+    slli t0, t1, 3
+    add  t0, t0, s0
+    ld   t2, 0(t0)          # e = off[u]
+    ld   t3, 8(t0)          # end = off[u+1]
+inner:
+    bge  t2, t3, loop
+    slli t4, t2, 3
+    add  t4, t4, s1
+    ld   t5, 0(t4)          # v = adj[e]
+    addi t2, t2, 1
+    slli t4, t5, 3
+    add  t4, t4, s5
+    ld   t6, 0(t4)          # parent[v]
+    bgez t6, inner          # visited -> skip (data-dependent)
+    sd   t1, 0(t4)          # parent[v] = u
+    slli t4, s4, 3
+    add  t4, t4, s2
+    sd   t5, 0(t4)          # queue[tail] = v
+    addi s4, s4, 1
+    j    inner
+done:
+    mv   a0, s4             # exit code = visited count
+    li   a7, 0
+    ecall
+`
+
+// BFS returns the breadth-first-search workload.
+func BFS(p Params) workloads.Workload {
+	return kernel{
+		name:     "bfs",
+		source:   bfsSource,
+		maxInsts: 8_000_000,
+		init: func(g *graph.CSR, m *mem.Memory) {
+			fillUint64(m, aux1Base, g.N, ^uint64(0)) // parent = -1
+		},
+		validate: validateBFS,
+	}.workload(p)
+}
+
+// bfsReference computes the visited set and the BFS depth of every
+// vertex (parent trees may differ in tie-breaking, depths may not).
+func bfsReference(g *graph.CSR, src int) (depth []int64, visited int) {
+	depth = make([]int64, g.N)
+	for i := range depth {
+		depth[i] = -1
+	}
+	queue := make([]uint64, 0, g.N)
+	queue = append(queue, uint64(src))
+	depth[src] = 0
+	visited = 1
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range g.Adj(int(u)) {
+			if depth[v] < 0 {
+				depth[v] = depth[u] + 1
+				visited++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return depth, visited
+}
+
+func validateBFS(g *graph.CSR, cpu *functional.CPU) error {
+	src := source(g)
+	depth, visited := bfsReference(g, src)
+	if got := cpu.ExitCode(); got != int64(visited) {
+		return fmt.Errorf("bfs: visited count = %d, want %d", got, visited)
+	}
+	for v := 0; v < g.N; v++ {
+		parent := cpu.Mem.ReadUint64(aux1Base + uint64(v)*8)
+		if depth[v] < 0 {
+			if parent != ^uint64(0) {
+				return fmt.Errorf("bfs: vertex %d unreachable but parent=%d", v, parent)
+			}
+			continue
+		}
+		if parent == ^uint64(0) {
+			return fmt.Errorf("bfs: vertex %d reachable but unvisited", v)
+		}
+		if v == src {
+			if parent != uint64(src) {
+				return fmt.Errorf("bfs: source parent = %d", parent)
+			}
+			continue
+		}
+		// The parent must be a real neighbor one level up.
+		if depth[parent] != depth[v]-1 {
+			return fmt.Errorf("bfs: vertex %d at depth %d has parent %d at depth %d",
+				v, depth[v], parent, depth[parent])
+		}
+		found := false
+		for _, w := range g.Adj(int(parent)) {
+			if w == uint64(v) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("bfs: parent %d of %d is not a neighbor", parent, v)
+		}
+	}
+	return nil
+}

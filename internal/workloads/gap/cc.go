@@ -1,0 +1,140 @@
+package gap
+
+import (
+	"fmt"
+
+	"repro/internal/functional"
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// ccIters caps the label-propagation rounds (each round is followed by
+// one pointer-jumping pass, Shiloach–Vishkin style).
+const ccIters = 3
+
+// ccSource is connected components by label propagation. The inner
+// "bge a3, t3" minimum-label test is data dependent: whether a
+// neighbor's label improves the current one depends on sparse loads.
+const ccSource = `
+# cc: connected components, label propagation + pointer jumping
+# AUX1 = component labels (u64)
+.equ ITERS, 3
+.entry main
+main:
+    la   s0, OFF
+    la   s1, ADJ
+    la   s2, AUX1           # comp, loader-initialized to comp[v] = v
+    li   s4, N
+    li   s5, ITERS
+    li   s6, 0              # round counter
+round:
+    bge  s6, s5, done
+    li   s7, 0              # changed flag
+    li   t0, 0              # u
+outer:
+    bge  t0, s4, jump
+    slli t1, t0, 3
+    add  t2, t1, s2
+    ld   t3, 0(t2)          # cu = comp[u]
+    add  t4, t1, s0
+    ld   t5, 0(t4)          # e
+    ld   t6, 8(t4)          # end
+inner:
+    bge  t5, t6, store
+    slli a1, t5, 3
+    add  a1, a1, s1
+    ld   a2, 0(a1)          # v
+    addi t5, t5, 1
+    slli a2, a2, 3
+    add  a2, a2, s2
+    ld   a3, 0(a2)          # cv = comp[v] (sparse load)
+    bge  a3, t3, inner      # no improvement (data-dependent)
+    mv   t3, a3             # cu = cv
+    li   s7, 1
+    j    inner
+store:
+    sd   t3, 0(t2)          # comp[u] = cu
+    addi t0, t0, 1
+    j    outer
+jump:                       # comp[v] = comp[comp[v]]
+    li   t0, 0
+pj:
+    bge  t0, s4, roundend
+    slli t1, t0, 3
+    add  t1, t1, s2
+    ld   t2, 0(t1)
+    slli t2, t2, 3
+    add  t2, t2, s2
+    ld   t3, 0(t2)
+    sd   t3, 0(t1)
+    addi t0, t0, 1
+    j    pj
+roundend:
+    addi s6, s6, 1
+    beqz s7, done           # converged early
+    j    round
+done:
+    mv   a0, s6             # exit code = rounds executed
+    li   a7, 0
+    ecall
+`
+
+// CC returns the connected-components workload.
+func CC(p Params) workloads.Workload {
+	return kernel{
+		name:     "cc",
+		source:   ccSource,
+		maxInsts: 8_000_000,
+		init: func(g *graph.CSR, m *mem.Memory) {
+			for v := 0; v < g.N; v++ {
+				m.WriteUint64(aux1Base+uint64(v)*8, uint64(v))
+			}
+		},
+		validate: validateCC,
+	}.workload(p)
+}
+
+// ccReference replicates the kernel's exact rounds.
+func ccReference(g *graph.CSR) (comp []uint64, rounds int64) {
+	n := g.N
+	comp = make([]uint64, n)
+	for v := range comp {
+		comp[v] = uint64(v)
+	}
+	for r := 0; r < ccIters; r++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			cu := comp[u]
+			for _, v := range g.Adj(u) {
+				if cv := comp[v]; cv < cu {
+					cu = cv
+					changed = true
+				}
+			}
+			comp[u] = cu
+		}
+		for v := 0; v < n; v++ {
+			comp[v] = comp[comp[v]]
+		}
+		rounds = int64(r + 1)
+		if !changed {
+			break
+		}
+	}
+	return comp, rounds
+}
+
+func validateCC(g *graph.CSR, cpu *functional.CPU) error {
+	want, rounds := ccReference(g)
+	if got := cpu.ExitCode(); got != rounds {
+		return fmt.Errorf("cc: rounds = %d, want %d", got, rounds)
+	}
+	for v := 0; v < g.N; v++ {
+		got := cpu.Mem.ReadUint64(aux1Base + uint64(v)*8)
+		if got != want[v] {
+			return fmt.Errorf("cc: comp[%d] = %d, want %d", v, got, want[v])
+		}
+	}
+	return nil
+}

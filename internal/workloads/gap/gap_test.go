@@ -1,0 +1,86 @@
+package gap
+
+import (
+	"testing"
+
+	"repro/internal/functional"
+)
+
+// TestKernelsFunctional runs every GAP kernel to completion on the
+// functional simulator and validates the architectural results against
+// the Go reference implementations.
+func TestKernelsFunctional(t *testing.T) {
+	for _, w := range Suite(TestParams()) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			inst, err := w.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			cpu := functional.New(inst.Prog, inst.Mem, inst.StackTop)
+			n, err := cpu.Run(500_000_000)
+			if err != nil {
+				t.Fatalf("functional run after %d insts: %v", n, err)
+			}
+			if !cpu.Halted() {
+				t.Fatalf("kernel did not halt within %d instructions", n)
+			}
+			t.Logf("%s: %d instructions, exit=%d", w.Name, n, cpu.ExitCode())
+			if err := inst.Validate(cpu); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+		})
+	}
+}
+
+// TestKernelsOnAlternateInputs validates the kernels on the Kronecker
+// and grid generators too — different degree distributions exercise
+// different control-flow behaviour.
+func TestKernelsOnAlternateInputs(t *testing.T) {
+	variants := []struct {
+		name string
+		p    Params
+	}{
+		{"kron", Params{N: 256, Degree: 4, Seed: 11, Kron: true}},
+		{"grid", Params{N: 256, Grid: true}},
+	}
+	for _, v := range variants {
+		for _, w := range Suite(v.p) {
+			w := w
+			t.Run(v.name+"/"+w.Name, func(t *testing.T) {
+				inst, err := w.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				cpu := functional.New(inst.Prog, inst.Mem, inst.StackTop)
+				if _, err := cpu.Run(500_000_000); err != nil {
+					t.Fatal(err)
+				}
+				if !cpu.Halted() {
+					t.Fatal("did not halt")
+				}
+				if err := inst.Validate(cpu); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestKernelsDeterministic checks that two builds execute identically.
+func TestKernelsDeterministic(t *testing.T) {
+	w := BFS(TestParams())
+	counts := make([]uint64, 2)
+	for i := range counts {
+		inst := w.MustBuild()
+		cpu := functional.New(inst.Prog, inst.Mem, inst.StackTop)
+		n, err := cpu.Run(100_000_000)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		counts[i] = n
+	}
+	if counts[0] != counts[1] {
+		t.Fatalf("nondeterministic instruction counts: %d vs %d", counts[0], counts[1])
+	}
+}

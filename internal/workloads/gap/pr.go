@@ -1,0 +1,171 @@
+package gap
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/functional"
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// prIters is the number of PageRank power iterations simulated.
+const prIters = 2
+
+// prSource is pull-style PageRank. The paper singles pr out: "it has no
+// conditional branches in its inner loop", so wrong-path modeling has
+// no impact on it — the inner accumulation loop below is branch-free
+// except for the (well-predicted) loop-end test.
+const prSource = `
+# pr: pagerank, pull-style, ITERS power iterations
+# AUX1 = rank (f64), AUX2 = contrib (f64)
+.equ ITERS, 2
+.entry main
+main:
+    la   s0, OFF
+    la   s1, ADJ
+    la   s2, AUX1           # rank
+    la   s3, AUX2           # contrib
+    li   s4, N
+    li   s5, ITERS
+    li   t0, 1
+    fcvt.d.l f3, t0         # 1.0
+    fcvt.d.l f4, s4         # n
+    li   t0, 85
+    fcvt.d.l f1, t0
+    li   t0, 100
+    fcvt.d.l f5, t0
+    fdiv f1, f1, f5         # damping d = 0.85
+    fsub f2, f3, f1
+    fdiv f2, f2, f4         # base = (1-d)/n
+    li   s6, 0              # iteration counter; rank[] loader-initialized to 1/n
+iter:
+    bge  s6, s5, done
+    li   t0, 0              # phase 1: contrib[u] = rank[u]/deg[u]
+ph1:
+    bge  t0, s4, ph2start
+    slli t1, t0, 3
+    add  t2, t1, s0
+    ld   t3, 0(t2)          # off[u]
+    ld   t4, 8(t2)          # off[u+1]
+    sub  t3, t4, t3         # deg
+    add  t2, t1, s2
+    fld  f3, 0(t2)          # rank[u]
+    beqz t3, zdeg
+    fcvt.d.l f4, t3
+    fdiv f3, f3, f4
+zdeg:
+    add  t2, t1, s3
+    fsd  f3, 0(t2)          # contrib[u]
+    addi t0, t0, 1
+    j    ph1
+ph2start:
+    li   t0, 0              # phase 2: rank[u] = base + d * sum(contrib[v])
+ph2:
+    bge  t0, s4, iterend
+    slli t1, t0, 3
+    add  t2, t1, s0
+    ld   t3, 0(t2)          # e
+    ld   t4, 8(t2)          # end
+    li   t5, 0
+    fcvt.d.l f5, t5         # sum = 0
+ph2inner:
+    bge  t3, t4, ph2store
+    slli t5, t3, 3
+    add  t5, t5, s1
+    ld   t6, 0(t5)          # v
+    addi t3, t3, 1
+    slli t6, t6, 3
+    add  t6, t6, s3
+    fld  f4, 0(t6)          # contrib[v] (sparse load)
+    fadd f5, f5, f4
+    j    ph2inner
+ph2store:
+    fmul f5, f5, f1
+    fadd f5, f5, f2
+    add  t2, t1, s2
+    fsd  f5, 0(t2)          # rank[u] updated in place
+    addi t0, t0, 1
+    j    ph2
+iterend:
+    addi s6, s6, 1
+    j    iter
+done:
+    li   a0, 0
+    li   a7, 0
+    ecall
+`
+
+// PR returns the PageRank workload. PageRank runs on a quarter-size
+// input so the 8M-instruction sample reaches its branch-free inner
+// accumulation loop (both PageRank phases are linear in N, unlike the
+// traversal kernels).
+func PR(p Params) workloads.Workload {
+	if p.N > 1<<18 {
+		p.N = 1 << 18
+	}
+	return kernel{
+		name:     "pr",
+		source:   prSource,
+		maxInsts: 8_000_000,
+		init: func(g *graph.CSR, m *mem.Memory) {
+			invN := 1.0 / float64(int64(g.N))
+			for u := 0; u < g.N; u++ {
+				m.WriteFloat64(aux1Base+uint64(u)*8, invN)
+			}
+		},
+		validate: validatePR,
+	}.workload(p)
+}
+
+// prReference replicates the kernel's exact arithmetic (same operation
+// order, in-place rank update) so ranks match bit-for-bit up to Go/ISA
+// rounding identity — both use IEEE-754 doubles, so exactly.
+func prReference(g *graph.CSR) []float64 {
+	n := g.N
+	one := 1.0
+	nf := float64(int64(n))
+	d := 85.0 / 100.0
+	base := (one - d) / nf
+	rank := make([]float64, n)
+	contrib := make([]float64, n)
+	for i := range rank {
+		rank[i] = one / nf
+	}
+	for it := 0; it < prIters; it++ {
+		for u := 0; u < n; u++ {
+			deg := g.Degree(u)
+			c := rank[u]
+			if deg != 0 {
+				c = c / float64(int64(deg))
+			}
+			contrib[u] = c
+		}
+		for u := 0; u < n; u++ {
+			sum := 0.0
+			for _, v := range g.Adj(u) {
+				sum += contrib[v]
+			}
+			rank[u] = sum*d + base
+		}
+	}
+	return rank
+}
+
+func validatePR(g *graph.CSR, cpu *functional.CPU) error {
+	want := prReference(g)
+	var total float64
+	for u := 0; u < g.N; u++ {
+		got := cpu.Mem.ReadFloat64(aux1Base + uint64(u)*8)
+		if math.Abs(got-want[u]) > 1e-12 {
+			return fmt.Errorf("pr: rank[%d] = %g, want %g", u, got, want[u])
+		}
+		total += got
+	}
+	// Sanity: total rank stays near 1 (dangling mass aside).
+	if total <= 0 || total > float64(g.N) {
+		return fmt.Errorf("pr: implausible total rank %g", total)
+	}
+	return nil
+}

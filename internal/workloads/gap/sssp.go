@@ -1,0 +1,133 @@
+package gap
+
+import (
+	"fmt"
+
+	"repro/internal/functional"
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// ssspInf is the "unreachable" distance sentinel.
+const ssspInf = uint64(1) << 40
+
+// ssspMaxWeight bounds the generated edge weights.
+const ssspMaxWeight = 32
+
+// ssspSource is worklist-based single-source shortest paths (the
+// structure of GAP's delta-stepping without the bucketing: active
+// vertices are pulled from a queue and their edges relaxed; improved
+// vertices are re-queued). The relaxation test "bge a5, a6" depends on
+// two sparse loads (the weight and the current distance) — a
+// hard-to-predict branch whose resolution waits on memory, exactly the
+// long wrong-path windows the paper discusses.
+const ssspSource = `
+# sssp: worklist relaxation
+# AUX1 = dist (u64, loader-initialized to INF except dist[src] = 0)
+# QUEUE = worklist, loader-seeded with src
+.entry main
+main:
+    la   s0, OFF
+    la   s1, ADJ
+    la   s2, AUX1           # dist
+    la   s3, WGT
+    la   s8, QUEUE
+    li   s5, 0              # head
+    li   s6, 1              # tail (src pre-queued)
+loop:
+    bge  s5, s6, done
+    slli t0, s5, 3
+    add  t0, t0, s8
+    ld   t1, 0(t0)          # u = queue[head]
+    addi s5, s5, 1
+    slli t0, t1, 3
+    add  t2, t0, s2
+    ld   t3, 0(t2)          # du = dist[u]
+    add  t4, t0, s0
+    ld   t5, 0(t4)          # e = off[u]
+    ld   t6, 8(t4)          # end = off[u+1]
+inner:
+    bge  t5, t6, loop
+    slli a2, t5, 3
+    add  a3, a2, s1
+    ld   a4, 0(a3)          # v
+    add  a3, a2, s3
+    ld   a5, 0(a3)          # w (sparse load)
+    addi t5, t5, 1
+    add  a5, a5, t3         # nd = du + w
+    slli a4, a4, 3
+    add  a4, a4, s2
+    ld   a6, 0(a4)          # dist[v] (sparse load)
+    bge  a5, a6, inner      # no improvement (data-dependent)
+    sd   a5, 0(a4)          # dist[v] = nd
+    slli a7, s6, 3
+    add  a7, a7, s8
+    sub  a6, a4, s2
+    srli a6, a6, 3          # recover v (a4 = AUX1 + v*8)
+    sd   a6, 0(a7)          # queue[tail] = v
+    addi s6, s6, 1
+    j    inner
+done:
+    mv   a0, s5             # exit code = vertices processed
+    li   a7, 0
+    ecall
+`
+
+// SSSP returns the single-source-shortest-paths workload.
+func SSSP(p Params) workloads.Workload {
+	return kernel{
+		name:     "sssp",
+		source:   ssspSource,
+		maxInsts: 8_000_000,
+		init: func(g *graph.CSR, m *mem.Memory) {
+			m.WriteUint64Slice(wgtBase, graph.Weights(g, 0xdead, ssspMaxWeight))
+			fillUint64(m, aux1Base, g.N, ssspInf)
+			src := uint64(source(g))
+			m.WriteUint64(aux1Base+src*8, 0)
+			m.WriteUint64(queueBase, src)
+		},
+		validate: validateSSSP,
+	}.workload(p)
+}
+
+// ssspReference replicates the kernel's exact worklist order.
+func ssspReference(g *graph.CSR, w []uint64, src int) (dist []uint64, processed int64) {
+	dist = make([]uint64, g.N)
+	for i := range dist {
+		dist[i] = ssspInf
+	}
+	dist[src] = 0
+	queue := make([]uint64, 1, g.N*4)
+	queue[0] = uint64(src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		start, end := g.Offsets[u], g.Offsets[u+1]
+		for e := start; e < end; e++ {
+			v := g.Neighbors[e]
+			nd := du + w[e]
+			if nd < dist[v] {
+				dist[v] = nd
+				queue = append(queue, v)
+			}
+		}
+		processed = int64(head + 1)
+	}
+	return dist, processed
+}
+
+func validateSSSP(g *graph.CSR, cpu *functional.CPU) error {
+	w := graph.Weights(g, 0xdead, ssspMaxWeight)
+	want, processed := ssspReference(g, w, source(g))
+	if got := cpu.ExitCode(); got != processed {
+		return fmt.Errorf("sssp: processed = %d, want %d", got, processed)
+	}
+	for v := 0; v < g.N; v++ {
+		got := cpu.Mem.ReadUint64(aux1Base + uint64(v)*8)
+		if got != want[v] {
+			return fmt.Errorf("sssp: dist[%d] = %d, want %d", v, got, want[v])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,937 @@
+package specproxy
+
+import (
+	"repro/internal/graph"
+	"repro/internal/mem"
+)
+
+// The FP-like kernels mirror the paper's SPEC FP population: "regular
+// number-crunching code with no hard-to-predict branches". Their loop
+// branches are trip-count tests the predictor learns perfectly, so
+// wrong-path modeling should leave them at ≈0% error. raysphere is the
+// deliberate exception — its hit-test branch depends on data, giving
+// the FP distribution the small tail the paper's Figure 4 shows.
+
+// --- streamTriad: cam4/roms-like streaming bandwidth -------------------
+
+var streamTriad = proxy{
+	name:     "streamtriad",
+	fp:       true,
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		n := p.scaled(200_000, 256)
+		const passes = 2
+		b := make([]float64, n)
+		c := make([]float64, n)
+		for i := range b {
+			b[i] = float64(int64(rng.Intn(1000))) / 1000.0
+			c[i] = float64(int64(rng.Intn(1000))) / 1000.0
+		}
+		m.WriteFloat64Slice(data2Base, b)
+		m.WriteFloat64Slice(data3Base, c)
+
+		s := 3.0
+		a := make([]float64, n)
+		sum := 0.0
+		for pass := 0; pass < passes; pass++ {
+			for i := 0; i < n; i++ {
+				a[i] = b[i] + c[i]*s
+				sum += a[i]
+			}
+		}
+		src := `
+.equ PASSES, 2
+.entry main
+main:
+    la   s0, A
+    la   s1, B
+    la   s2, C
+    li   s3, N
+    li   s4, PASSES
+    li   t0, 3
+    fcvt.d.l f1, t0         # s = 3.0
+    li   t0, 0
+    fcvt.d.l f9, t0         # sum = 0
+    li   s5, 0
+pass:
+    bge  s5, s4, done
+    li   t0, 0
+loop:
+    bge  t0, s3, passend
+    slli t1, t0, 3
+    add  t2, t1, s1
+    fld  f2, 0(t2)          # b[i]
+    add  t2, t1, s2
+    fld  f3, 0(t2)          # c[i]
+    fmul f3, f3, f1
+    fadd f2, f2, f3
+    add  t2, t1, s0
+    fsd  f2, 0(t2)          # a[i]
+    fadd f9, f9, f2
+    addi t0, t0, 1
+    j    loop
+passend:
+    addi s5, s5, 1
+    j    pass
+done:
+    fcvt.l.d a0, f9
+    li   a7, 0
+    ecall
+`
+		syms := map[string]uint64{"A": data1Base, "B": data2Base, "C": data3Base, "N": uint64(n)}
+		return src, syms, int64(sum)
+	},
+}
+
+// --- stencil1d: lbm-like sweep ------------------------------------------
+
+var stencil1d = proxy{
+	name:     "stencil1d",
+	fp:       true,
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		n := p.scaled(150_000, 512)
+		const passes = 2
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = float64(int64(i % 17))
+		}
+		m.WriteFloat64Slice(data1Base, a)
+
+		third := 1.0 / 3.0
+		b := make([]float64, n)
+		src_, dst := a, b
+		for pass := 0; pass < passes; pass++ {
+			dst[0] = src_[0]
+			dst[n-1] = src_[n-1]
+			for i := 1; i < n-1; i++ {
+				dst[i] = (src_[i-1] + src_[i] + src_[i+1]) * third
+			}
+			src_, dst = dst, src_
+		}
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += src_[i]
+		}
+		src := `
+.equ PASSES, 2
+.entry main
+main:
+    la   s0, A              # src
+    la   s1, B              # dst
+    li   s3, N
+    li   s4, PASSES
+    li   t0, 1
+    fcvt.d.l f1, t0
+    li   t0, 3
+    fcvt.d.l f2, t0
+    fdiv f1, f1, f2         # 1/3
+    li   s5, 0
+pass:
+    bge  s5, s4, sumphase
+    fld  f3, 0(s0)
+    fsd  f3, 0(s1)          # dst[0] = src[0]
+    addi t2, s3, -1
+    slli t2, t2, 3
+    add  t3, t2, s0
+    fld  f3, 0(t3)
+    add  t3, t2, s1
+    fsd  f3, 0(t3)          # dst[n-1] = src[n-1]
+    li   t0, 1
+    addi t6, s3, -1
+loop:
+    bge  t0, t6, passend
+    slli t1, t0, 3
+    add  t2, t1, s0
+    fld  f3, -8(t2)
+    fld  f4, 0(t2)
+    fld  f5, 8(t2)
+    fadd f3, f3, f4
+    fadd f3, f3, f5
+    fmul f3, f3, f1
+    add  t2, t1, s1
+    fsd  f3, 0(t2)
+    addi t0, t0, 1
+    j    loop
+passend:
+    mv   t0, s0             # swap src/dst
+    mv   s0, s1
+    mv   s1, t0
+    addi s5, s5, 1
+    j    pass
+sumphase:
+    li   t0, 0
+    fcvt.d.l f9, t0
+sumloop:
+    bge  t0, s3, done
+    slli t1, t0, 3
+    add  t1, t1, s0
+    fld  f3, 0(t1)
+    fadd f9, f9, f3
+    addi t0, t0, 1
+    j    sumloop
+done:
+    fcvt.l.d a0, f9
+    li   a7, 0
+    ecall
+`
+		syms := map[string]uint64{"A": data1Base, "B": data2Base, "N": uint64(n)}
+		return src, syms, int64(sum)
+	},
+}
+
+// --- matmul: bwaves-like dense linear algebra ----------------------------
+
+var matmul = proxy{
+	name:     "matmul",
+	fp:       true,
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		const dim = 64
+		reps := p.scaled(2, 1)
+		a := make([]float64, dim*dim)
+		b := make([]float64, dim*dim)
+		for i := range a {
+			a[i] = float64(int64(rng.Intn(100))) / 100.0
+			b[i] = float64(int64(rng.Intn(100))) / 100.0
+		}
+		m.WriteFloat64Slice(data1Base, a)
+		m.WriteFloat64Slice(data2Base, b)
+
+		c := make([]float64, dim*dim)
+		for r := 0; r < reps; r++ {
+			for i := 0; i < dim; i++ {
+				for j := 0; j < dim; j++ {
+					acc := 0.0
+					for k := 0; k < dim; k++ {
+						acc += a[i*dim+k] * b[k*dim+j]
+					}
+					c[i*dim+j] = acc
+				}
+			}
+		}
+		sum := 0.0
+		for _, v := range c {
+			sum += v
+		}
+		src := `
+.equ DIM, 64
+.entry main
+main:
+    la   s0, A
+    la   s1, B
+    la   s2, C
+    li   s3, DIM
+    li   s4, REPS
+    li   s5, 0              # rep
+rep:
+    bge  s5, s4, sumphase
+    li   t0, 0              # i
+iloop:
+    bge  t0, s3, repend
+    li   t1, 0              # j
+jloop:
+    bge  t1, s3, iend
+    li   t2, 0              # k
+    li   t3, 0
+    fcvt.d.l f0, t3         # acc = 0
+    slli t4, t0, 9          # i*64*8
+    add  t4, t4, s0         # &a[i*64]
+    slli t5, t1, 3
+    add  t5, t5, s1         # &b[0*64+j]
+kloop:
+    bge  t2, s3, kend
+    fld  f1, 0(t4)          # a[i*64+k]
+    fld  f2, 0(t5)          # b[k*64+j]
+    fmul f1, f1, f2
+    fadd f0, f0, f1
+    addi t4, t4, 8
+    addi t5, t5, 512        # next row of b
+    addi t2, t2, 1
+    j    kloop
+kend:
+    slli t6, t0, 9
+    slli a0, t1, 3
+    add  t6, t6, a0
+    add  t6, t6, s2
+    fsd  f0, 0(t6)          # c[i*64+j]
+    addi t1, t1, 1
+    j    jloop
+iend:
+    addi t0, t0, 1
+    j    iloop
+repend:
+    addi s5, s5, 1
+    j    rep
+sumphase:
+    li   t0, 0
+    fcvt.d.l f9, t0
+    li   t1, 4096           # 64*64
+sumloop:
+    bge  t0, t1, done
+    slli t2, t0, 3
+    add  t2, t2, s2
+    fld  f1, 0(t2)
+    fadd f9, f9, f1
+    addi t0, t0, 1
+    j    sumloop
+done:
+    fcvt.l.d a0, f9
+    li   a7, 0
+    ecall
+`
+		syms := map[string]uint64{"A": data1Base, "B": data2Base, "C": data3Base, "REPS": uint64(reps)}
+		return src, syms, int64(sum)
+	},
+}
+
+// --- nbody: nab-like pairwise interactions -------------------------------
+
+var nbody = proxy{
+	name:     "nbody",
+	fp:       true,
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		n := p.scaled(384, 24)
+		pos := make([]float64, n)
+		mass := make([]float64, n)
+		for i := range pos {
+			pos[i] = float64(int64(rng.Intn(10_000))) / 100.0
+			mass[i] = 1.0 + float64(int64(rng.Intn(100)))/100.0
+		}
+		m.WriteFloat64Slice(data1Base, pos)
+		m.WriteFloat64Slice(data2Base, mass)
+
+		eps := 1.0 / 16.0
+		total := 0.0
+		for i := 0; i < n; i++ {
+			f := 0.0
+			for j := 0; j < n; j++ {
+				d := pos[i] - pos[j]
+				f += mass[j] / (d*d + eps)
+			}
+			total += f
+		}
+		src := `
+.entry main
+main:
+    la   s0, POS
+    la   s1, MASS
+    li   s3, N
+    li   t0, 1
+    fcvt.d.l f1, t0
+    li   t0, 16
+    fcvt.d.l f2, t0
+    fdiv f1, f1, f2         # eps = 1/16
+    li   t0, 0
+    fcvt.d.l f9, t0         # total = 0
+    li   t0, 0              # i
+iloop:
+    bge  t0, s3, done
+    slli t1, t0, 3
+    add  t1, t1, s0
+    fld  f3, 0(t1)          # pos[i]
+    li   t2, 0
+    fcvt.d.l f4, t2         # f = 0
+    li   t2, 0              # j
+jloop:
+    bge  t2, s3, iend
+    slli t3, t2, 3
+    add  t4, t3, s0
+    fld  f5, 0(t4)          # pos[j]
+    add  t4, t3, s1
+    fld  f6, 0(t4)          # mass[j]
+    fsub f5, f3, f5         # d
+    fmul f5, f5, f5
+    fadd f5, f5, f1         # d*d + eps
+    fdiv f6, f6, f5
+    fadd f4, f4, f6
+    addi t2, t2, 1
+    j    jloop
+iend:
+    fadd f9, f9, f4
+    addi t0, t0, 1
+    j    iloop
+done:
+    fcvt.l.d a0, f9
+    li   a7, 0
+    ecall
+`
+		syms := map[string]uint64{"POS": data1Base, "MASS": data2Base, "N": uint64(n)}
+		return src, syms, int64(total)
+	},
+}
+
+// --- conv2d: imagick-like convolution -------------------------------------
+
+var conv2d = proxy{
+	name:     "conv2d",
+	fp:       true,
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		dim := p.scaled(192, 16)
+		img := make([]float64, dim*dim)
+		for i := range img {
+			img[i] = float64(int64(rng.Intn(256)))
+		}
+		m.WriteFloat64Slice(data1Base, img)
+
+		ninth := 1.0 / 9.0
+		out := make([]float64, dim*dim)
+		sum := 0.0
+		for y := 1; y < dim-1; y++ {
+			for x := 1; x < dim-1; x++ {
+				acc := 0.0
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						acc += img[(y+dy)*dim+(x+dx)]
+					}
+				}
+				out[y*dim+x] = acc * ninth
+				sum += out[y*dim+x]
+			}
+		}
+		src := `
+.entry main
+main:
+    la   s0, IMG
+    la   s1, OUT
+    li   s3, DIM
+    li   t0, 1
+    fcvt.d.l f1, t0
+    li   t0, 9
+    fcvt.d.l f2, t0
+    fdiv f1, f1, f2         # 1/9
+    li   t0, 0
+    fcvt.d.l f9, t0         # sum
+    slli s4, s3, 3          # row stride in bytes
+    addi s5, s3, -1
+    li   t0, 1              # y
+yloop:
+    bge  t0, s5, done
+    li   t1, 1              # x
+xloop:
+    bge  t1, s5, yend
+    # address of img[(y-1)*dim + (x-1)]
+    addi t2, t0, -1
+    mul  t3, t2, s3
+    addi t4, t1, -1
+    add  t3, t3, t4
+    slli t3, t3, 3
+    add  t3, t3, s0
+    # top row
+    fld  f3, 0(t3)
+    fld  f4, 8(t3)
+    fadd f3, f3, f4
+    fld  f4, 16(t3)
+    fadd f3, f3, f4
+    add  t3, t3, s4         # middle row
+    fld  f4, 0(t3)
+    fadd f3, f3, f4
+    fld  f4, 8(t3)
+    fadd f3, f3, f4
+    fld  f4, 16(t3)
+    fadd f3, f3, f4
+    add  t3, t3, s4         # bottom row
+    fld  f4, 0(t3)
+    fadd f3, f3, f4
+    fld  f4, 8(t3)
+    fadd f3, f3, f4
+    fld  f4, 16(t3)
+    fadd f3, f3, f4
+    fmul f3, f3, f1
+    mul  t5, t0, s3
+    add  t5, t5, t1
+    slli t5, t5, 3
+    add  t5, t5, s1
+    fsd  f3, 0(t5)
+    fadd f9, f9, f3
+    addi t1, t1, 1
+    j    xloop
+yend:
+    addi t0, t0, 1
+    j    yloop
+done:
+    fcvt.l.d a0, f9
+    li   a7, 0
+    ecall
+`
+		syms := map[string]uint64{"IMG": data1Base, "OUT": data2Base, "DIM": uint64(dim)}
+		return src, syms, int64(sum)
+	},
+}
+
+// --- fdtd: fotonik3d-like field updates ------------------------------------
+
+var fdtd = proxy{
+	name:     "fdtd",
+	fp:       true,
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		n := p.scaled(100_000, 512)
+		const passes = 2
+		e := make([]float64, n)
+		h := make([]float64, n)
+		for i := range e {
+			e[i] = float64(int64(rng.Intn(100))) / 100.0
+		}
+		m.WriteFloat64Slice(data1Base, e)
+		// h starts zeroed (sparse memory default).
+
+		c1 := 1.0 / 2.0
+		c2 := 1.0 / 4.0
+		for pass := 0; pass < passes; pass++ {
+			for i := 0; i < n-1; i++ {
+				h[i] += c1 * (e[i+1] - e[i])
+			}
+			for i := 1; i < n; i++ {
+				e[i] += c2 * (h[i] - h[i-1])
+			}
+		}
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += e[i]
+		}
+		src := `
+.equ PASSES, 2
+.entry main
+main:
+    la   s0, E
+    la   s1, H
+    li   s3, N
+    li   t0, 1
+    fcvt.d.l f1, t0
+    li   t0, 2
+    fcvt.d.l f2, t0
+    fdiv f1, f1, f2         # c1 = 1/2
+    li   t0, 1
+    fcvt.d.l f3, t0
+    li   t0, 4
+    fcvt.d.l f2, t0
+    fdiv f3, f3, f2         # c2 = 1/4
+    addi s6, s3, -1
+    li   s5, 0
+pass:
+    li   t6, PASSES
+    bge  s5, t6, sumphase
+    li   t0, 0
+hloop:
+    bge  t0, s6, estart
+    slli t1, t0, 3
+    add  t2, t1, s0
+    fld  f4, 0(t2)          # e[i]
+    fld  f5, 8(t2)          # e[i+1]
+    fsub f5, f5, f4
+    fmul f5, f5, f1
+    add  t2, t1, s1
+    fld  f4, 0(t2)
+    fadd f4, f4, f5
+    fsd  f4, 0(t2)          # h[i] += c1*(e[i+1]-e[i])
+    addi t0, t0, 1
+    j    hloop
+estart:
+    li   t0, 1
+eloop:
+    bge  t0, s3, passend
+    slli t1, t0, 3
+    add  t2, t1, s1
+    fld  f4, 0(t2)          # h[i]
+    fld  f5, -8(t2)         # h[i-1]
+    fsub f4, f4, f5
+    fmul f4, f4, f3
+    add  t2, t1, s0
+    fld  f5, 0(t2)
+    fadd f5, f5, f4
+    fsd  f5, 0(t2)          # e[i] += c2*(h[i]-h[i-1])
+    addi t0, t0, 1
+    j    eloop
+passend:
+    addi s5, s5, 1
+    j    pass
+sumphase:
+    li   t0, 0
+    fcvt.d.l f9, t0
+sumloop:
+    bge  t0, s3, done
+    slli t1, t0, 3
+    add  t1, t1, s0
+    fld  f4, 0(t1)
+    fadd f9, f9, f4
+    addi t0, t0, 1
+    j    sumloop
+done:
+    fcvt.l.d a0, f9
+    li   a7, 0
+    ecall
+`
+		syms := map[string]uint64{"E": data1Base, "H": data2Base, "N": uint64(n)}
+		return src, syms, int64(sum)
+	},
+}
+
+// --- dotprod: cactuBSSN-like reductions -------------------------------------
+
+var dotprod = proxy{
+	name:     "dotprod",
+	fp:       true,
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		n := p.scaled(120_000, 256)
+		const passes = 3
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = float64(int64(rng.Intn(1000))) / 500.0
+			b[i] = float64(int64(rng.Intn(1000))) / 500.0
+		}
+		m.WriteFloat64Slice(data1Base, a)
+		m.WriteFloat64Slice(data2Base, b)
+
+		total := 0.0
+		for pass := 0; pass < passes; pass++ {
+			dot := 0.0
+			for i := 0; i < n; i++ {
+				dot += a[i] * b[i]
+			}
+			total += dot
+		}
+		src := `
+.equ PASSES, 3
+.entry main
+main:
+    la   s0, A
+    la   s1, B
+    li   s3, N
+    li   t0, 0
+    fcvt.d.l f9, t0         # total
+    li   s5, 0
+pass:
+    li   t6, PASSES
+    bge  s5, t6, done
+    li   t0, 0
+    fcvt.d.l f0, t0         # dot
+loop:
+    bge  t0, s3, passend
+    slli t1, t0, 3
+    add  t2, t1, s0
+    fld  f1, 0(t2)
+    add  t2, t1, s1
+    fld  f2, 0(t2)
+    fmul f1, f1, f2
+    fadd f0, f0, f1
+    addi t0, t0, 1
+    j    loop
+passend:
+    fadd f9, f9, f0
+    addi s5, s5, 1
+    j    pass
+done:
+    fcvt.l.d a0, f9
+    li   a7, 0
+    ecall
+`
+		syms := map[string]uint64{"A": data1Base, "B": data2Base, "N": uint64(n)}
+		return src, syms, int64(total)
+	},
+}
+
+// --- raysphere: povray-like intersection testing -----------------------------
+
+// raysphere is the FP kernel with a genuinely data-dependent branch (the
+// discriminant sign test), placing it between the regular FP kernels and
+// the INT kernels in wrong-path sensitivity.
+var raysphere = proxy{
+	name:     "raysphere",
+	fp:       true,
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		n := p.scaled(120_000, 256)
+		ox := make([]float64, n)
+		dx := make([]float64, n)
+		for i := range ox {
+			ox[i] = float64(int64(rng.Intn(400)))/100.0 - 2.0 // [-2, 2)
+			dx[i] = float64(int64(rng.Intn(200)))/100.0 - 1.0 // [-1, 1)
+		}
+		m.WriteFloat64Slice(data1Base, ox)
+		m.WriteFloat64Slice(data2Base, dx)
+
+		// 1D ray-sphere: (o + t*d)^2 = 1 → disc = (o*d)^2 - d*d*(o*o-1).
+		var hits int64
+		for i := 0; i < n; i++ {
+			o, d := ox[i], dx[i]
+			b := o * d
+			disc := b*b - d*d*(o*o-1.0)
+			if disc > 0 {
+				hits++
+			}
+		}
+		src := `
+.entry main
+main:
+    la   s0, OX
+    la   s1, DX
+    li   s3, N
+    li   s9, 0              # hits
+    li   t0, 1
+    fcvt.d.l f1, t0         # 1.0
+    li   t0, 0
+    fcvt.d.l f8, t0         # 0.0
+    li   t0, 0
+loop:
+    bge  t0, s3, done
+    slli t1, t0, 3
+    add  t2, t1, s0
+    fld  f2, 0(t2)          # o
+    add  t2, t1, s1
+    fld  f3, 0(t2)          # d
+    addi t0, t0, 1
+    fmul f4, f2, f3         # b = o*d
+    fmul f4, f4, f4         # b*b
+    fmul f5, f3, f3         # d*d
+    fmul f6, f2, f2         # o*o
+    fsub f6, f6, f1         # o*o - 1
+    fmul f5, f5, f6
+    fsub f4, f4, f5         # disc
+    flt  t3, f8, f4         # 0 < disc (data-dependent FP branch)
+    beqz t3, loop
+    addi s9, s9, 1
+    j    loop
+done:
+    mv   a0, s9
+    li   a7, 0
+    ecall
+`
+		syms := map[string]uint64{"OX": data1Base, "DX": data2Base, "N": uint64(n)}
+		return src, syms, hits
+	},
+}
+
+// --- stencil3d: wrf-like 3D sweep ----------------------------------------------
+
+var stencil3d = proxy{
+	name:     "stencil3d",
+	fp:       true,
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		dim := p.scaled(40, 8)
+		const passes = 2
+		sz := dim * dim * dim
+		g := make([]float64, sz)
+		for i := range g {
+			g[i] = float64(int64(rng.Intn(100))) / 10.0
+		}
+		m.WriteFloat64Slice(data1Base, g)
+
+		seventh := 1.0 / 7.0
+		out := make([]float64, sz)
+		srcG, dst := g, out
+		idx := func(x, y, z int) int { return (z*dim+y)*dim + x }
+		for pass := 0; pass < passes; pass++ {
+			for z := 1; z < dim-1; z++ {
+				for y := 1; y < dim-1; y++ {
+					for x := 1; x < dim-1; x++ {
+						acc := srcG[idx(x, y, z)] +
+							srcG[idx(x-1, y, z)] + srcG[idx(x+1, y, z)] +
+							srcG[idx(x, y-1, z)] + srcG[idx(x, y+1, z)] +
+							srcG[idx(x, y, z-1)] + srcG[idx(x, y, z+1)]
+						dst[idx(x, y, z)] = acc * seventh
+					}
+				}
+			}
+			srcG, dst = dst, srcG
+		}
+		sum := 0.0
+		for i := 0; i < sz; i++ {
+			sum += srcG[i]
+		}
+		src := `
+.equ PASSES, 2
+.entry main
+main:
+    la   s0, G              # src
+    la   s1, OUT            # dst
+    li   s3, DIM
+    li   t0, 1
+    fcvt.d.l f1, t0
+    li   t0, 7
+    fcvt.d.l f2, t0
+    fdiv f1, f1, f2         # 1/7
+    mul  s4, s3, s3         # dim*dim (plane stride in elements)
+    slli s4, s4, 3          # plane stride in bytes
+    slli s7, s3, 3          # row stride in bytes
+    addi s6, s3, -1
+    li   s5, 0
+pass:
+    li   t6, PASSES
+    bge  s5, t6, sumphase
+    li   t0, 1              # z
+zloop:
+    bge  t0, s6, passend
+    li   t1, 1              # y
+yloop:
+    bge  t1, s6, zend
+    li   t2, 1              # x
+xloop:
+    bge  t2, s6, yend
+    # element offset = ((z*dim + y)*dim + x) * 8
+    mul  t3, t0, s3
+    add  t3, t3, t1
+    mul  t3, t3, s3
+    add  t3, t3, t2
+    slli t3, t3, 3
+    add  t4, t3, s0         # &src[center]
+    fld  f3, 0(t4)
+    fld  f4, -8(t4)
+    fadd f3, f3, f4
+    fld  f4, 8(t4)
+    fadd f3, f3, f4
+    sub  t5, t4, s7
+    fld  f4, 0(t5)
+    fadd f3, f3, f4
+    add  t5, t4, s7
+    fld  f4, 0(t5)
+    fadd f3, f3, f4
+    sub  t5, t4, s4
+    fld  f4, 0(t5)
+    fadd f3, f3, f4
+    add  t5, t4, s4
+    fld  f4, 0(t5)
+    fadd f3, f3, f4
+    fmul f3, f3, f1
+    add  t4, t3, s1
+    fsd  f3, 0(t4)
+    addi t2, t2, 1
+    j    xloop
+yend:
+    addi t1, t1, 1
+    j    yloop
+zend:
+    addi t0, t0, 1
+    j    zloop
+passend:
+    mv   t0, s0             # swap src/dst
+    mv   s0, s1
+    mv   s1, t0
+    addi s5, s5, 1
+    j    pass
+sumphase:
+    mul  t1, s3, s3
+    mul  t1, t1, s3         # dim^3
+    li   t0, 0
+    fcvt.d.l f9, t0
+sumloop:
+    bge  t0, t1, done
+    slli t2, t0, 3
+    add  t2, t2, s0
+    fld  f3, 0(t2)
+    fadd f9, f9, f3
+    addi t0, t0, 1
+    j    sumloop
+done:
+    fcvt.l.d a0, f9
+    li   a7, 0
+    ecall
+`
+		syms := map[string]uint64{"G": data1Base, "OUT": data2Base, "DIM": uint64(dim)}
+		return src, syms, int64(sum)
+	},
+}
+
+// --- wave1d: specfem-like wave propagation ---------------------------------------
+
+var wave1d = proxy{
+	name:     "wave1d",
+	fp:       true,
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		n := p.scaled(80_000, 512)
+		const passes = 3
+		u := make([]float64, n)
+		for i := range u {
+			u[i] = float64(int64(rng.Intn(200))) / 100.0
+		}
+		prev := append([]float64(nil), u...)
+		m.WriteFloat64Slice(data1Base, u)
+		m.WriteFloat64Slice(data2Base, prev)
+		// next (data3) starts zeroed.
+
+		c := 1.0 / 4.0
+		next := make([]float64, n)
+		for pass := 0; pass < passes; pass++ {
+			for i := 1; i < n-1; i++ {
+				lap := u[i+1] - 2.0*u[i] + u[i-1]
+				next[i] = 2.0*u[i] - prev[i] + c*lap
+			}
+			prev, u, next = u, next, prev
+		}
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += u[i]
+		}
+		src := `
+.equ PASSES, 3
+.entry main
+main:
+    la   s0, U
+    la   s1, PREV
+    la   s2, NEXT
+    li   s3, N
+    li   t0, 1
+    fcvt.d.l f1, t0
+    li   t0, 4
+    fcvt.d.l f2, t0
+    fdiv f1, f1, f2         # c = 1/4
+    li   t0, 2
+    fcvt.d.l f2, t0         # 2.0
+    addi s6, s3, -1
+    li   s5, 0
+pass:
+    li   t6, PASSES
+    bge  s5, t6, sumphase
+    li   t0, 1
+loop:
+    bge  t0, s6, passend
+    slli t1, t0, 3
+    add  t2, t1, s0
+    fld  f3, 0(t2)          # u[i]
+    fld  f4, 8(t2)          # u[i+1]
+    fld  f5, -8(t2)         # u[i-1]
+    fmul f6, f2, f3         # 2u[i]
+    fsub f4, f4, f6
+    fadd f4, f4, f5         # lap
+    add  t2, t1, s1
+    fld  f5, 0(t2)          # prev[i]
+    fsub f6, f6, f5         # 2u[i] - prev[i]
+    fmul f4, f4, f1
+    fadd f6, f6, f4
+    add  t2, t1, s2
+    fsd  f6, 0(t2)          # next[i]
+    addi t0, t0, 1
+    j    loop
+passend:
+    mv   t0, s1             # rotate prev, u, next
+    mv   s1, s0
+    mv   s0, s2
+    mv   s2, t0
+    addi s5, s5, 1
+    j    pass
+sumphase:
+    li   t0, 0
+    fcvt.d.l f9, t0
+sumloop:
+    bge  t0, s3, done
+    slli t1, t0, 3
+    add  t1, t1, s0
+    fld  f3, 0(t1)
+    fadd f9, f9, f3
+    addi t0, t0, 1
+    j    sumloop
+done:
+    fcvt.l.d a0, f9
+    li   a7, 0
+    ecall
+`
+		syms := map[string]uint64{"U": data1Base, "PREV": data2Base, "NEXT": data3Base, "N": uint64(n)}
+		return src, syms, int64(sum)
+	},
+}

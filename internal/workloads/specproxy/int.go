@@ -1,0 +1,895 @@
+package specproxy
+
+import (
+	"repro/internal/graph"
+	"repro/internal/mem"
+)
+
+// --- hashloop: perlbench-like string/hash processing -----------------
+
+// hashloop folds an array through a multiply-xor hash with a
+// data-dependent branch taken for one value in eight.
+var hashloop = proxy{
+	name:     "hashloop",
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		n := p.scaled(262_144, 256)
+		data := make([]uint64, n)
+		for i := range data {
+			data[i] = rng.Next()
+		}
+		m.WriteUint64Slice(data1Base, data)
+
+		var h uint64
+		for _, v := range data {
+			h = h*31 + v
+			if v&7 == 0 {
+				h ^= v >> 3
+			}
+		}
+		src := `
+.entry main
+main:
+    la   s0, DATA1
+    li   s1, N
+    li   s2, 0              # h
+    li   t0, 0
+loop:
+    bge  t0, s1, done
+    slli t1, t0, 3
+    add  t1, t1, s0
+    ld   t2, 0(t1)          # v
+    addi t0, t0, 1
+    slli t3, s2, 5
+    sub  t3, t3, s2         # h*31
+    add  s2, t3, t2
+    andi t4, t2, 7
+    bnez t4, loop           # data-dependent (taken 7/8)
+    srli t4, t2, 3
+    xor  s2, s2, t4
+    j    loop
+done:
+    mv   a0, s2
+    li   a7, 0
+    ecall
+`
+		return src, map[string]uint64{"DATA1": data1Base, "N": uint64(n)}, int64(h)
+	},
+}
+
+// --- treewalk: gcc-like pointer-heavy tree search --------------------
+
+// treewalk searches an unbalanced binary search tree (arrays of key /
+// left / right indices) for a stream of probe keys, half of which are
+// present. Every step is a dependent load followed by a data-dependent
+// three-way branch.
+var treewalk = proxy{
+	name:     "treewalk",
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		nodes := p.scaled(32_768, 64)
+		probes := p.scaled(16_384, 64)
+
+		key := make([]uint64, 0, nodes)
+		left := make([]uint64, 0, nodes)
+		right := make([]uint64, 0, nodes)
+		none := ^uint64(0)
+		insert := func(k uint64) {
+			if len(key) == 0 {
+				key = append(key, k)
+				left = append(left, none)
+				right = append(right, none)
+				return
+			}
+			cur := 0
+			for {
+				if k == key[cur] {
+					return
+				}
+				next := &right[cur]
+				if k < key[cur] {
+					next = &left[cur]
+				}
+				if *next == none {
+					*next = uint64(len(key))
+					key = append(key, k)
+					left = append(left, none)
+					right = append(right, none)
+					return
+				}
+				cur = int(*next)
+			}
+		}
+		for len(key) < nodes {
+			insert(rng.Next() >> 1) // keep keys non-negative as int64
+		}
+
+		lookup := make([]uint64, probes)
+		for i := range lookup {
+			if rng.Next()&1 == 0 {
+				lookup[i] = key[rng.Intn(uint64(len(key)))]
+			} else {
+				lookup[i] = rng.Next() >> 1
+			}
+		}
+		m.WriteUint64Slice(data1Base, lookup)
+		m.WriteUint64Slice(data2Base, key)
+		m.WriteUint64Slice(data3Base, left)
+		m.WriteUint64Slice(data4Base, right)
+
+		var found int64
+		for _, k := range lookup {
+			cur := int64(0)
+			for cur >= 0 {
+				nk := key[cur]
+				if k == nk {
+					found++
+					break
+				}
+				if k < nk {
+					cur = int64(left[cur])
+				} else {
+					cur = int64(right[cur])
+				}
+			}
+		}
+		src := `
+.entry main
+main:
+    la   s0, DATA1          # probe keys
+    la   s1, DATA2          # node keys
+    la   s2, DATA3          # left
+    la   s3, DATA4          # right
+    li   s4, M
+    li   s5, 0              # found
+    li   t0, 0
+outer:
+    bge  t0, s4, done
+    slli t1, t0, 3
+    add  t1, t1, s0
+    ld   t2, 0(t1)          # probe key
+    addi t0, t0, 1
+    li   t3, 0              # cur = root
+walk:
+    bltz t3, outer          # fell off: not found
+    slli t4, t3, 3
+    add  t5, t4, s1
+    ld   t6, 0(t5)          # node key (dependent load)
+    beq  t2, t6, found
+    blt  t2, t6, goleft     # data-dependent
+    add  t5, t4, s3
+    ld   t3, 0(t5)          # cur = right
+    j    walk
+goleft:
+    add  t5, t4, s2
+    ld   t3, 0(t5)          # cur = left
+    j    walk
+found:
+    addi s5, s5, 1
+    j    outer
+done:
+    mv   a0, s5
+    li   a7, 0
+    ecall
+`
+		syms := map[string]uint64{
+			"DATA1": data1Base, "DATA2": data2Base,
+			"DATA3": data3Base, "DATA4": data4Base,
+			"M": uint64(probes),
+		}
+		return src, syms, found
+	},
+}
+
+// --- chase: mcf-like dependent pointer chasing -----------------------
+
+// chase follows a random permutation through an 8 MB array — a serial
+// dependence chain of cache misses — branching on the parity of every
+// visited index. Branch resolution waits on memory: the longest
+// wrong-path windows of the suite.
+var chase = proxy{
+	name:     "chase",
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		n := p.scaled(1<<20, 256)
+		steps := p.scaled(400_000, 512)
+		// Sattolo's algorithm: one full cycle, so the chase never traps
+		// in a short loop.
+		next := make([]uint64, n)
+		for i := range next {
+			next[i] = uint64(i)
+		}
+		for i := n - 1; i > 0; i-- {
+			j := int(rng.Intn(uint64(i)))
+			next[i], next[j] = next[j], next[i]
+		}
+		m.WriteUint64Slice(data1Base, next)
+
+		var odd int64
+		idx := uint64(0)
+		for s := 0; s < steps; s++ {
+			idx = next[idx]
+			if idx&1 == 1 {
+				odd++
+			}
+		}
+		src := `
+.entry main
+main:
+    la   s0, DATA1
+    li   s1, K
+    li   t0, 0              # idx
+    li   s2, 0              # odd count
+    li   t1, 0              # step
+loop:
+    bge  t1, s1, done
+    addi t1, t1, 1
+    slli t2, t0, 3
+    add  t2, t2, s0
+    ld   t0, 0(t2)          # idx = next[idx] (serial miss chain)
+    andi t3, t0, 1
+    beqz t3, loop           # 50/50 data-dependent branch
+    addi s2, s2, 1
+    j    loop
+done:
+    mv   a0, s2
+    li   a7, 0
+    ecall
+`
+		return src, map[string]uint64{"DATA1": data1Base, "K": uint64(steps)}, odd
+	},
+}
+
+// --- rlescan: xz-like run scanning -----------------------------------
+
+// rlescan walks a byte buffer of variable-length runs counting adjacent
+// equal pairs; whether the match branch is taken depends entirely on
+// the data.
+var rlescan = proxy{
+	name:     "rlescan",
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		n := p.scaled(600_000, 512)
+		data := make([]byte, n)
+		for i := 0; i < n; {
+			v := byte(rng.Next())
+			run := 1 + int(rng.Intn(8))
+			for j := 0; j < run && i < n; j++ {
+				data[i] = v
+				i++
+			}
+		}
+		m.WriteBytes(data1Base, data)
+
+		var pairs int64
+		for i := 0; i < n-1; i++ {
+			if data[i] == data[i+1] {
+				pairs++
+			}
+		}
+		src := `
+.entry main
+main:
+    la   s0, DATA1
+    li   s1, NM1
+    li   t0, 0
+    li   s2, 0              # pair count
+loop:
+    bge  t0, s1, done
+    add  t1, t0, s0
+    lbu  t2, 0(t1)
+    lbu  t3, 1(t1)
+    addi t0, t0, 1
+    bne  t2, t3, loop       # data-dependent match test
+    addi s2, s2, 1
+    j    loop
+done:
+    mv   a0, s2
+    li   a7, 0
+    ecall
+`
+		return src, map[string]uint64{"DATA1": data1Base, "NM1": uint64(n - 1)}, pairs
+	},
+}
+
+// --- blocksort: exchange2-like in-place block sorting -----------------
+
+// blocksort insertion-sorts independent 64-element blocks; the shift
+// loop's exit depends on comparisons of random data.
+var blocksort = proxy{
+	name:     "blocksort",
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		blocks := p.scaled(512, 4)
+		data := make([]uint64, blocks*64)
+		for i := range data {
+			data[i] = rng.Next() >> 1
+		}
+		m.WriteUint64Slice(data1Base, data)
+
+		var checksum uint64
+		mirror := append([]uint64(nil), data...)
+		for b := 0; b < blocks; b++ {
+			blk := mirror[b*64 : (b+1)*64]
+			for i := 1; i < 64; i++ {
+				k := blk[i]
+				j := i
+				for j > 0 && blk[j-1] > k {
+					blk[j] = blk[j-1]
+					j--
+				}
+				blk[j] = k
+			}
+			checksum += blk[32]
+		}
+		src := `
+.entry main
+main:
+    la   s0, DATA1
+    li   s1, B
+    li   s2, 0              # block index
+    li   s9, 0              # checksum
+blkloop:
+    bge  s2, s1, done
+    slli t0, s2, 9          # block * 64 * 8
+    add  s3, t0, s0         # block base
+    li   t1, 1              # i
+isort:
+    li   t6, 64
+    bge  t1, t6, blkdone
+    slli t2, t1, 3
+    add  t2, t2, s3
+    ld   t3, 0(t2)          # key
+    mv   t4, t1             # j
+shift:
+    beqz t4, insert
+    addi t5, t4, -1
+    slli a0, t5, 3
+    add  a0, a0, s3
+    ld   a1, 0(a0)          # a[j-1]
+    ble  a1, t3, insert     # data-dependent comparison
+    slli a2, t4, 3
+    add  a2, a2, s3
+    sd   a1, 0(a2)          # a[j] = a[j-1]
+    mv   t4, t5
+    j    shift
+insert:
+    slli a2, t4, 3
+    add  a2, a2, s3
+    sd   t3, 0(a2)
+    addi t1, t1, 1
+    j    isort
+blkdone:
+    ld   a3, 256(s3)        # sorted block's median (index 32)
+    add  s9, s9, a3
+    addi s2, s2, 1
+    j    blkloop
+done:
+    mv   a0, s9
+    li   a7, 0
+    ecall
+`
+		return src, map[string]uint64{"DATA1": data1Base, "B": uint64(blocks)}, int64(checksum)
+	},
+}
+
+// --- heapsim: omnetpp-like priority-queue churn -----------------------
+
+// heapsim pushes random priorities into a binary min-heap then drains
+// it; sift-up/sift-down comparisons are data dependent and the heap
+// array is walked irregularly.
+var heapsim = proxy{
+	name:     "heapsim",
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		n := p.scaled(32_768, 64)
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Next() >> 1
+		}
+		m.WriteUint64Slice(data1Base, vals)
+
+		// Go mirror with the kernel's exact comparison choices.
+		heap := make([]uint64, n+1) // 1-indexed
+		size := 0
+		for _, v := range vals {
+			size++
+			heap[size] = v
+			i := size
+			for i > 1 {
+				parent := i / 2
+				if heap[parent] <= v {
+					break
+				}
+				heap[i] = heap[parent]
+				heap[parent] = v
+				i = parent
+			}
+		}
+		var checksum uint64
+		for size > 0 {
+			checksum = checksum*3 + heap[1]
+			last := heap[size]
+			size--
+			if size == 0 {
+				break
+			}
+			heap[1] = last
+			i := 1
+			for {
+				c := 2 * i
+				if c > size {
+					break
+				}
+				cv := heap[c]
+				if r := c + 1; r <= size && cv >= heap[r] {
+					c = r
+					cv = heap[r]
+				}
+				if cv >= last {
+					break
+				}
+				heap[i] = cv
+				heap[c] = last
+				i = c
+			}
+		}
+		src := `
+.entry main
+main:
+    la   s0, DATA1          # values to push
+    la   s1, HEAP           # heap array, 1-indexed
+    li   s2, N
+    li   s4, 0              # heap size
+    li   s9, 0              # checksum
+    li   t0, 0
+push:
+    bge  t0, s2, popphase
+    slli t1, t0, 3
+    add  t1, t1, s0
+    ld   t2, 0(t1)          # v
+    addi t0, t0, 1
+    addi s4, s4, 1
+    mv   t3, s4             # i
+    slli t4, t3, 3
+    add  t4, t4, s1
+    sd   t2, 0(t4)
+siftup:
+    li   t5, 1
+    ble  t3, t5, push
+    srli t5, t3, 1          # parent
+    slli t4, t5, 3
+    add  t4, t4, s1
+    ld   t6, 0(t4)          # parent value
+    ble  t6, t2, push       # heap property holds (data-dependent)
+    sd   t2, 0(t4)          # swap
+    slli a0, t3, 3
+    add  a0, a0, s1
+    sd   t6, 0(a0)
+    mv   t3, t5
+    j    siftup
+popphase:
+    li   t0, 0
+pop:
+    beqz s4, done
+    ld   t2, 8(s1)          # min
+    slli t3, s9, 1
+    add  s9, s9, t3         # checksum *= 3
+    add  s9, s9, t2
+    slli t4, s4, 3
+    add  t4, t4, s1
+    ld   t5, 0(t4)          # last value
+    addi s4, s4, -1
+    beqz s4, pop
+    sd   t5, 8(s1)
+    li   t3, 1              # i
+siftdown:
+    slli t6, t3, 1          # left child
+    bgt  t6, s4, pop
+    slli a0, t6, 3
+    add  a0, a0, s1
+    ld   a1, 0(a0)          # child value
+    addi a2, t6, 1          # right child
+    bgt  a2, s4, pick
+    slli a3, a2, 3
+    add  a3, a3, s1
+    ld   a4, 0(a3)
+    blt  a1, a4, pick       # keep left when strictly smaller
+    mv   t6, a2
+    mv   a1, a4
+pick:
+    bge  a1, t5, pop        # heap property holds (data-dependent)
+    slli a5, t3, 3
+    add  a5, a5, s1
+    sd   a1, 0(a5)
+    slli a5, t6, 3
+    add  a5, a5, s1
+    sd   t5, 0(a5)
+    mv   t3, t6
+    j    siftdown
+done:
+    mv   a0, s9
+    li   a7, 0
+    ecall
+`
+		syms := map[string]uint64{"DATA1": data1Base, "HEAP": data2Base, "N": uint64(n)}
+		return src, syms, int64(checksum)
+	},
+}
+
+// --- hashtab: xalancbmk-like hash table churn --------------------------
+
+// hashtab inserts keys into a 2 MB open-addressing table then probes it;
+// probe-loop length and the found/empty branch depend on the data.
+var hashtab = proxy{
+	name:     "hashtab",
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		const tableBits = 18
+		tableSize := 1 << tableBits
+		mask := uint64(tableSize - 1)
+		inserts := p.scaled(65_536, 64)
+		lookups := p.scaled(65_536, 64)
+
+		keys := make([]uint64, inserts)
+		for i := range keys {
+			keys[i] = rng.Next()>>1 | 1 // non-zero
+		}
+		probes := make([]uint64, lookups)
+		for i := range probes {
+			if rng.Next()&1 == 0 {
+				probes[i] = keys[rng.Intn(uint64(inserts))]
+			} else {
+				probes[i] = rng.Next()>>1 | 1
+			}
+		}
+		m.WriteUint64Slice(data1Base, keys)
+		m.WriteUint64Slice(data3Base, probes)
+		// Table at data2Base starts zeroed (sparse memory reads 0).
+
+		hash := func(k uint64) uint64 { return (k * 2654435761) >> 16 & mask }
+		table := make([]uint64, tableSize)
+		for _, k := range keys {
+			h := hash(k)
+			for table[h] != 0 && table[h] != k {
+				h = (h + 1) & mask
+			}
+			table[h] = k
+		}
+		var found int64
+		for _, k := range probes {
+			h := hash(k)
+			for {
+				v := table[h]
+				if v == 0 {
+					break
+				}
+				if v == k {
+					found++
+					break
+				}
+				h = (h + 1) & mask
+			}
+		}
+		src := `
+.entry main
+main:
+    la   s0, TABLE
+    la   s1, DATA1
+    li   s2, M
+    li   s3, MASK
+    li   s8, 2654435761
+    li   t0, 0
+insert:
+    bge  t0, s2, lookupphase
+    slli t1, t0, 3
+    add  t1, t1, s1
+    ld   t2, 0(t1)          # key
+    addi t0, t0, 1
+    mul  t4, t2, s8
+    srli t4, t4, 16
+    and  t4, t4, s3         # slot
+probe:
+    slli t5, t4, 3
+    add  t5, t5, s0
+    ld   t6, 0(t5)
+    beqz t6, place          # empty slot (data-dependent)
+    beq  t6, t2, insert     # duplicate
+    addi t4, t4, 1
+    and  t4, t4, s3
+    j    probe
+place:
+    sd   t2, 0(t5)
+    j    insert
+lookupphase:
+    la   s1, DATA3
+    li   s2, L
+    li   t0, 0
+    li   s9, 0              # found
+lookup:
+    bge  t0, s2, done
+    slli t1, t0, 3
+    add  t1, t1, s1
+    ld   t2, 0(t1)
+    addi t0, t0, 1
+    mul  t4, t2, s8
+    srli t4, t4, 16
+    and  t4, t4, s3
+lprobe:
+    slli t5, t4, 3
+    add  t5, t5, s0
+    ld   t6, 0(t5)
+    beqz t6, lookup         # miss
+    beq  t6, t2, lfound     # hit (data-dependent)
+    addi t4, t4, 1
+    and  t4, t4, s3
+    j    lprobe
+lfound:
+    addi s9, s9, 1
+    j    lookup
+done:
+    mv   a0, s9
+    li   a7, 0
+    ecall
+`
+		syms := map[string]uint64{
+			"TABLE": data2Base, "DATA1": data1Base, "DATA3": data3Base,
+			"M": uint64(inserts), "L": uint64(lookups), "MASK": mask,
+		}
+		return src, syms, found
+	},
+}
+
+// --- sadscan: x264-like sum-of-absolute-differences -------------------
+
+// sadscan computes SAD between pairs of 64-byte blocks with an early
+// exit once the accumulated difference crosses a threshold; the
+// absolute-value and early-exit branches are data dependent.
+var sadscan = proxy{
+	name:     "sadscan",
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		blocks := p.scaled(8_192, 16)
+		const blockLen = 64
+		const threshold = 1024
+		a := make([]byte, blocks*blockLen)
+		b := make([]byte, blocks*blockLen)
+		for i := range a {
+			a[i] = byte(rng.Next())
+			if rng.Next()&3 == 0 {
+				b[i] = a[i] + byte(rng.Intn(8)) // similar block region
+			} else {
+				b[i] = byte(rng.Next())
+			}
+		}
+		m.WriteBytes(data1Base, a)
+		m.WriteBytes(data2Base, b)
+
+		var matches int64
+		for blk := 0; blk < blocks; blk++ {
+			sad := uint64(0)
+			for i := 0; i < blockLen; i++ {
+				x, y := int64(a[blk*blockLen+i]), int64(b[blk*blockLen+i])
+				d := x - y
+				if d < 0 {
+					d = -d
+				}
+				sad += uint64(d)
+				if sad >= threshold {
+					break
+				}
+			}
+			if sad < threshold {
+				matches++
+			}
+		}
+		src := `
+.equ THRESH, 1024
+.entry main
+main:
+    la   s0, DATA1
+    la   s1, DATA2
+    li   s2, B
+    li   s9, 0              # matches
+    li   s3, 0              # block
+blkloop:
+    bge  s3, s2, done
+    slli t0, s3, 6          # block * 64
+    add  t1, t0, s0         # a cursor
+    add  t2, t0, s1         # b cursor
+    li   t3, 0              # i
+    li   t4, 0              # sad
+    li   t6, 64
+inner:
+    bge  t3, t6, blkend
+    lbu  a0, 0(t1)
+    lbu  a1, 0(t2)
+    addi t1, t1, 1
+    addi t2, t2, 1
+    addi t3, t3, 1
+    sub  a2, a0, a1
+    bgez a2, acc            # |a-b| (data-dependent)
+    neg  a2, a2
+acc:
+    add  t4, t4, a2
+    li   a3, THRESH
+    blt  t4, a3, inner      # early exit (data-dependent)
+blkend:
+    li   a3, THRESH
+    bge  t4, a3, nextblk
+    addi s9, s9, 1
+nextblk:
+    addi s3, s3, 1
+    j    blkloop
+done:
+    mv   a0, s9
+    li   a7, 0
+    ecall
+`
+		return src, map[string]uint64{"DATA1": data1Base, "DATA2": data2Base, "B": uint64(blocks)}, matches
+	},
+}
+
+// --- bitboard: deepsjeng-like bit manipulation -------------------------
+
+// bitboard popcounts sparse 64-bit boards with the b &= b-1 loop, whose
+// trip count is data dependent, and mixes a threshold branch.
+var bitboard = proxy{
+	name:     "bitboard",
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		n := p.scaled(65_536, 128)
+		boards := make([]uint64, n)
+		for i := range boards {
+			boards[i] = rng.Next() & rng.Next() & rng.Next()
+		}
+		m.WriteUint64Slice(data1Base, boards)
+
+		var checksum uint64
+		for _, b := range boards {
+			c := uint64(0)
+			for x := b; x != 0; x &= x - 1 {
+				c++
+			}
+			checksum += c
+			if c > 8 {
+				checksum ^= b
+			}
+		}
+		src := `
+.entry main
+main:
+    la   s0, DATA1
+    li   s1, N
+    li   s9, 0              # checksum
+    li   t0, 0
+loop:
+    bge  t0, s1, done
+    slli t1, t0, 3
+    add  t1, t1, s0
+    ld   t2, 0(t1)          # board
+    addi t0, t0, 1
+    li   t3, 0              # popcount
+pc:
+    beqz t2, pcdone         # trip count data-dependent
+    addi t4, t2, -1
+    and  t2, t2, t4         # clear lowest set bit
+    addi t3, t3, 1
+    j    pc
+pcdone:
+    add  s9, s9, t3
+    li   t5, 8
+    ble  t3, t5, loop       # density branch (data-dependent)
+    slli t6, t0, 3
+    addi t6, t6, -8
+    add  t6, t6, s0
+    ld   t2, 0(t6)          # reload board (t2 was consumed)
+    xor  s9, s9, t2
+    j    loop
+done:
+    mv   a0, s9
+    li   a7, 0
+    ecall
+`
+		return src, map[string]uint64{"DATA1": data1Base, "N": uint64(n)}, int64(checksum)
+	},
+}
+
+// --- randwalk: leela-like randomized control flow ----------------------
+
+// randwalk runs an xorshift RNG and walks a 64×64 grid with
+// boundary-clamp branches; direction branches are essentially random.
+var randwalk = proxy{
+	name:     "randwalk",
+	maxInsts: 4_000_000,
+	build: func(p Params, m *mem.Memory, rng *graph.RNG) (string, map[string]uint64, int64) {
+		steps := p.scaled(250_000, 512)
+		const grid = 64
+		seed := rng.Next() | 1
+
+		state := seed
+		next := func() uint64 {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return state
+		}
+		x, y := int64(grid/2), int64(grid/2)
+		var parity int64
+		for s := 0; s < steps; s++ {
+			switch next() & 3 {
+			case 0:
+				if x > 0 {
+					x--
+				}
+			case 1:
+				if x < grid-1 {
+					x++
+				}
+			case 2:
+				if y > 0 {
+					y--
+				}
+			default:
+				if y < grid-1 {
+					y++
+				}
+			}
+			parity += (x ^ y) & 1
+		}
+		src := `
+.equ GRIDM1, 63
+.entry main
+main:
+    li   s9, SEED           # rng state
+    li   s1, K
+    li   s2, 32             # x
+    li   s3, 32             # y
+    li   s4, 0              # parity accumulator
+    li   t0, 0
+step:
+    bge  t0, s1, done
+    addi t0, t0, 1
+    slli t1, s9, 13         # xorshift64
+    xor  s9, s9, t1
+    srli t1, s9, 7
+    xor  s9, s9, t1
+    slli t1, s9, 17
+    xor  s9, s9, t1
+    andi t2, s9, 3          # direction
+    li   t3, 1
+    beq  t2, t3, right
+    li   t3, 2
+    beq  t2, t3, down
+    li   t3, 3
+    beq  t2, t3, up
+    beqz s2, tally          # left, clamp at 0
+    addi s2, s2, -1
+    j    tally
+right:
+    li   t4, GRIDM1
+    bge  s2, t4, tally
+    addi s2, s2, 1
+    j    tally
+down:
+    beqz s3, tally
+    addi s3, s3, -1
+    j    tally
+up:
+    li   t4, GRIDM1
+    bge  s3, t4, tally
+    addi s3, s3, 1
+tally:
+    xor  t5, s2, s3
+    andi t5, t5, 1
+    add  s4, s4, t5
+    j    step
+done:
+    mv   a0, s4
+    li   a7, 0
+    ecall
+`
+		syms := map[string]uint64{"SEED": seed, "K": uint64(steps)}
+		return src, syms, parity
+	},
+}

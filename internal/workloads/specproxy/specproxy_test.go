@@ -1,0 +1,55 @@
+package specproxy
+
+import (
+	"testing"
+
+	"repro/internal/functional"
+)
+
+// TestKernelsFunctional runs all twenty proxy kernels to completion on
+// the functional simulator and checks the exit codes against the Go
+// mirrors.
+func TestKernelsFunctional(t *testing.T) {
+	for _, w := range Suite(TestParams()) {
+		w := w
+		t.Run(w.Suite+"/"+w.Name, func(t *testing.T) {
+			inst, err := w.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			cpu := functional.New(inst.Prog, inst.Mem, inst.StackTop)
+			n, err := cpu.Run(500_000_000)
+			if err != nil {
+				t.Fatalf("functional run after %d insts: %v", n, err)
+			}
+			if !cpu.Halted() {
+				t.Fatalf("kernel did not halt within %d instructions", n)
+			}
+			t.Logf("%s: %d instructions, exit=%d", w.Name, n, cpu.ExitCode())
+			if err := inst.Validate(cpu); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSuiteShape checks the suite composition the experiments rely on.
+func TestSuiteShape(t *testing.T) {
+	p := TestParams()
+	if got := len(IntSuite(p)); got != 10 {
+		t.Errorf("IntSuite has %d kernels, want 10", got)
+	}
+	if got := len(FPSuite(p)); got != 10 {
+		t.Errorf("FPSuite has %d kernels, want 10", got)
+	}
+	seen := map[string]bool{}
+	for _, w := range Suite(p) {
+		if seen[w.Name] {
+			t.Errorf("duplicate kernel name %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Suite != "specint" && w.Suite != "specfp" {
+			t.Errorf("kernel %q has suite %q", w.Name, w.Suite)
+		}
+	}
+}

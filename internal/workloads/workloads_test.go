@@ -1,0 +1,38 @@
+package workloads
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	w := Workload{
+		Name:  "broken",
+		Suite: "test",
+		Build: func() (*Instance, error) { return nil, errors.New("boom") },
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic")
+		}
+	}()
+	w.MustBuild()
+}
+
+func TestMustBuildReturnsInstance(t *testing.T) {
+	want := &Instance{}
+	w := Workload{
+		Name:  "fine",
+		Suite: "test",
+		Build: func() (*Instance, error) { return want, nil },
+	}
+	if got := w.MustBuild(); got != want {
+		t.Error("MustBuild returned a different instance")
+	}
+}
+
+func TestConventions(t *testing.T) {
+	if StandardCodeBase == 0 || StandardStackTop <= StandardCodeBase {
+		t.Error("implausible layout conventions")
+	}
+}
