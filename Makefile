@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet lint race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs the simulator-invariant analyzers (see internal/analysis).
+lint:
+	$(GO) run ./cmd/wplint ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full CI gate.
+check: build vet lint race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

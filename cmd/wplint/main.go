@@ -1,0 +1,73 @@
+// Command wplint runs the repository's simulator-invariant static
+// analysis suite (internal/analysis) over the given packages and exits
+// non-zero when any invariant is violated.
+//
+// Usage:
+//
+//	go run ./cmd/wplint ./...
+//	go run ./cmd/wplint ./internal/sim ./internal/core
+//	go run ./cmd/wplint -list
+//
+// Diagnostics are printed one per line as file:line:col: analyzer:
+// message. Exit status: 0 clean, 1 findings, 2 load/usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wplint [-list] [packages]\n\nRuns the simulator-invariant analyzers over the module's packages\n(default ./...). Patterns: a directory, or dir/... for a subtree.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(wd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags := analysis.Run(pkgs, analysis.All())
+	for _, d := range diags {
+		// Print module-relative paths: stable across checkouts and
+		// clickable from the repo root.
+		if rel, err := filepath.Rel(loader.ModuleRoot, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "wplint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wplint:", err)
+	os.Exit(2)
+}

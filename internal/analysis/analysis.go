@@ -1,0 +1,154 @@
+// Package analysis is a stdlib-only static-analysis framework for this
+// repository's simulator-specific invariants. It loads and type-checks
+// the module's packages from source (go/parser + go/types, no external
+// tooling) and runs a suite of analyzers that enforce the properties
+// the reproduction's results depend on:
+//
+//   - determinism: simulation code must not depend on wall time,
+//     global randomness, the environment, or map iteration order;
+//   - exhaustive: switches over the ISA and policy enums must cover
+//     every constant or declare an explicit default;
+//   - checkpoint: functional checkpoints must be restored on every
+//     return path;
+//   - statpath: wrong-path-split statistic counters may only be
+//     incremented by their approved accessor functions.
+//
+// The driver CLI is cmd/wplint. Analyzers report file:line:col
+// diagnostics; a finding can be suppressed only with an explicit
+// same-line directive
+//
+//	//wplint:allow <analyzer> -- <reason>
+//
+// which exists for the handful of allowlisted shims (e.g. the wall
+// clock in internal/sim) — not for waving real violations through.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// //wplint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	allow map[string]map[int]map[string]bool // file → line → analyzer set
+	out   *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos unless the source line carries a
+// matching //wplint:allow directive.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if lines, ok := p.allow[position.Filename]; ok {
+		if names, ok := lines[position.Line]; ok && names[p.Analyzer.Name] {
+			return
+		}
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowDirectives scans a package's comments for //wplint:allow lines.
+// A directive suppresses the named analyzer on the line it appears on
+// and must carry a reason after " -- ".
+func allowDirectives(pkg *Package) map[string]map[int]map[string]bool {
+	out := make(map[string]map[int]map[string]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//wplint:allow ")
+				if !ok {
+					continue
+				}
+				name, _, _ := strings.Cut(rest, " -- ")
+				name = strings.TrimSpace(name)
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					out[pos.Filename] = byLine
+				}
+				names := byLine[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					byLine[pos.Line] = names
+				}
+				names[name] = true
+			}
+		}
+	}
+	return out
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, Exhaustive, Checkpoint, StatPath}
+}
+
+// Run applies the analyzers to every package and returns the combined
+// diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow := allowDirectives(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, allow: allow, out: &diags}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// enclosingFunc returns the innermost function declaration of the file
+// containing pos, or nil for package-level positions.
+func enclosingFunc(f *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden diagnostic files")
+
+// testdataDir returns the absolute testdata path.
+func testdataDir(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// runFixture loads testdata/src/<name> and runs one analyzer over it,
+// returning the diagnostics rendered with testdata-relative paths.
+func runFixture(t *testing.T, a *Analyzer, name string) string {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(testdataDir(t), "src", name)
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{a})
+	var b strings.Builder
+	for _, d := range diags {
+		if rel, err := filepath.Rel(testdataDir(t), d.Pos.Filename); err == nil {
+			d.Pos.Filename = filepath.ToSlash(rel)
+		}
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// checkGolden compares got against testdata/<name>.golden.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	golden := filepath.Join(testdataDir(t), name+".golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// checkWantMarkers cross-checks the golden against the fixture's
+// inline "// want:" markers: every marked line must be diagnosed and
+// every diagnostic must land on a marked line.
+func checkWantMarkers(t *testing.T, name, got string) {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join(testdataDir(t), "src", name, name+".go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines := make(map[int]string)
+	for i, line := range strings.Split(string(src), "\n") {
+		if _, frag, ok := strings.Cut(line, "// want: "); ok {
+			wantLines[i+1] = strings.TrimSpace(frag)
+		}
+	}
+	gotLines := make(map[int]string)
+	for _, d := range strings.Split(strings.TrimSpace(got), "\n") {
+		if d == "" {
+			continue
+		}
+		parts := strings.SplitN(d, ":", 4)
+		if len(parts) < 4 {
+			t.Fatalf("malformed diagnostic %q", d)
+		}
+		lineNo, err := strconv.Atoi(parts[1])
+		if err != nil {
+			t.Fatalf("bad line in %q: %v", d, err)
+		}
+		gotLines[lineNo] = strings.TrimSpace(parts[3])
+	}
+	for line, frag := range wantLines {
+		msg, ok := gotLines[line]
+		if !ok {
+			t.Errorf("%s.go:%d: expected a diagnostic containing %q, got none", name, line, frag)
+			continue
+		}
+		if !strings.Contains(msg, frag) {
+			t.Errorf("%s.go:%d: diagnostic %q does not contain %q", name, line, msg, frag)
+		}
+	}
+	for line, msg := range gotLines {
+		if _, ok := wantLines[line]; !ok {
+			t.Errorf("%s.go:%d: unexpected diagnostic %q", name, line, msg)
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	got := runFixture(t, Determinism, "determinism")
+	checkGolden(t, "determinism", got)
+	checkWantMarkers(t, "determinism", got)
+}
+
+func TestExhaustiveFixture(t *testing.T) {
+	got := runFixture(t, Exhaustive, "exhaustive")
+	checkGolden(t, "exhaustive", got)
+	checkWantMarkers(t, "exhaustive", got)
+}
+
+func TestCheckpointFixture(t *testing.T) {
+	got := runFixture(t, Checkpoint, "checkpoint")
+	checkGolden(t, "checkpoint", got)
+	checkWantMarkers(t, "checkpoint", got)
+}
+
+func TestStatPathFixture(t *testing.T) {
+	got := runFixture(t, StatPath, "statpath")
+	checkGolden(t, "statpath", got)
+	checkWantMarkers(t, "statpath", got)
+}
+
+// TestRepoClean is the acceptance gate: the whole module must pass
+// every analyzer. A regression here means a simulator invariant was
+// violated by a source change.
+func TestRepoClean(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestLoaderResolvesModuleImports exercises the source loader: the sim
+// package pulls in most of the module transitively.
+func TestLoaderResolvesModuleImports(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(loader.ModuleRoot, "internal", "sim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Path != loader.ModulePath+"/internal/sim" {
+		t.Fatalf("unexpected import path %q", pkg.Path)
+	}
+	if pkg.Types.Scope().Lookup("Run") == nil {
+		t.Fatal("sim.Run not found in type-checked scope")
+	}
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive enforces that switch statements over the simulator's
+// extension-point enums cover every declared constant or carry an
+// explicit default clause. Adding an opcode, instruction class or
+// wrong-path policy then fails the lint at every dispatch site that
+// silently ignores the new case, instead of silently compiling.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over ISA/policy enums must cover every constant or declare a default",
+	Run:  runExhaustive,
+}
+
+// ExhaustiveEnums lists the enforced enum types as "pkgpath.TypeName".
+// These are the extension points new instructions and policies flow
+// through; extend the list when a new enum-like dispatch type appears.
+var ExhaustiveEnums = map[string]bool{
+	"repro/internal/isa.Class":            true,
+	"repro/internal/isa.Op":               true,
+	"repro/internal/wrongpath.Kind":       true,
+	"repro/internal/branch.PredictorKind": true,
+}
+
+func runExhaustive(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			t := info.TypeOf(sw.Tag)
+			named, ok := t.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				return true
+			}
+			qual := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			if !ExhaustiveEnums[qual] {
+				return true
+			}
+			checkSwitch(pass, sw, named, qual)
+			return true
+		})
+	}
+}
+
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt, named *types.Named, qual string) {
+	covered := make(map[int64]bool)
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			return // explicit default: the author handled "everything else"
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.Pkg.Info.Types[e]; ok && tv.Value != nil {
+				if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+					covered[v] = true
+				}
+			}
+		}
+	}
+	var missing []string
+	for _, c := range enumConstants(named) {
+		v, exact := constant.Int64Val(constant.ToInt(c.Val()))
+		if exact && !covered[v] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	shown := missing
+	if len(shown) > 6 {
+		shown = append(shown[:6:6], fmt.Sprintf("… (%d more)", len(missing)-6))
+	}
+	pass.Reportf(sw.Pos(), "switch over %s is not exhaustive and has no default: missing %s", qual, strings.Join(shown, ", "))
+}
+
+// enumConstants returns the package-level constants of the named type.
+// Unexported sentinels (names ending in "Max", e.g. opMax) bound the
+// constant space rather than belonging to it and are skipped.
+func enumConstants(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if !c.Exported() && strings.HasSuffix(strings.ToLower(name), "max") {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}

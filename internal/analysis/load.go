@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("repro/internal/sim").
+	Path string
+	// Dir is the package's directory on disk.
+	Dir string
+	// Fset positions every file of the load (shared across packages).
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types and Info are the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks packages of the enclosing module from
+// source. In-module imports are resolved recursively from their
+// directories; standard-library imports go through the compiler's
+// source importer, so no pre-built export data and no external modules
+// are required.
+type Loader struct {
+	// ModuleRoot is the directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module's import path ("repro").
+	ModulePath string
+
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+	busy map[string]bool
+}
+
+// NewLoader locates the module containing dir (walking up to go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:       make(map[string]*Package),
+		busy:       make(map[string]bool),
+	}, nil
+}
+
+// Load resolves patterns — directories, "./..." for the whole module,
+// or "dir/..." for a subtree — and returns the matched packages,
+// type-checked, sorted by import path. Directories named "testdata",
+// hidden directories and test files are excluded from "..." expansion
+// (a testdata directory can still be loaded by naming it explicitly,
+// which is how the analyzer fixtures are loaded).
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			walked, err := l.walk(l.ModuleRoot)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				add(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			if !filepath.IsAbs(base) {
+				base = filepath.Join(l.ModuleRoot, base)
+			}
+			walked, err := l.walk(base)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				add(d)
+			}
+		default:
+			d := pat
+			if !filepath.IsAbs(d) {
+				d = filepath.Join(l.ModuleRoot, d)
+			}
+			add(filepath.Clean(d))
+		}
+	}
+	var out []*Package
+	for _, d := range dirs {
+		pkg, err := l.LoadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// walk collects every package directory under base.
+func (l *Loader) walk(base string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// LoadDir loads and type-checks the package in one directory,
+// memoized by import path.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("analysis: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	path := l.ModulePath
+	if rel != "." {
+		path = l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return l.loadPath(path, dir)
+}
+
+func (l *Loader) loadPath(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go source in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: (*moduleImporter)(l)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// moduleImporter routes in-module import paths to the loader and
+// everything else to the standard library's source importer.
+type moduleImporter Loader
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(m)
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath)))
+		pkg, err := l.loadPath(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// StatPath enforces that the wrong-path-split statistic counters — the
+// numbers behind the paper's tables — are only incremented through
+// their approved accessor functions. Centralizing the increments keeps
+// the correct/wrong attribution in one audited place; a stray `++` on
+// a split counter elsewhere silently corrupts the split.
+var StatPath = &Analyzer{
+	Name: "statpath",
+	Doc:  "wrong-path-split counters may only be incremented by approved accessors",
+	Run:  runStatPath,
+}
+
+// protectedCounters maps "pkgpath.StructName" to the guarded fields.
+var protectedCounters = map[string]map[string]bool{
+	"repro/internal/cache.PathStats": {"Accesses": true, "Misses": true},
+	"repro/internal/cache.Hierarchy": {"WrongMemAccesses": true},
+	"repro/internal/core.Stats": {
+		"WPFetched": true, "WPExecuted": true, "WPLoads": true, "WPLoadsWithAddr": true,
+	},
+}
+
+// approvedAccessors lists the functions allowed to touch protected
+// counters, as "pkgpath-suffix:FuncName" (methods use their bare name).
+var approvedAccessors = map[string]bool{
+	"internal/cache:record":        true,
+	"internal/cache:Access":        true, // (*TLB).Access
+	"internal/cache:memAccess":     true, // (*Hierarchy).memAccess
+	"internal/core:noteWPFetched":  true, // (*Stats).noteWPFetched
+	"internal/core:noteWPExecuted": true, // (*Stats).noteWPExecuted
+}
+
+func runStatPath(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var lhs ast.Expr
+			switch n := n.(type) {
+			case *ast.IncDecStmt:
+				lhs = n.X
+			case *ast.AssignStmt:
+				switch n.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN,
+					token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.SHL_ASSIGN, token.SHR_ASSIGN:
+					if len(n.Lhs) == 1 {
+						lhs = n.Lhs[0]
+					}
+				}
+			default:
+				return true
+			}
+			if lhs == nil {
+				return true
+			}
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			owner, field, ok := selectedField(pass, sel)
+			if !ok {
+				return true
+			}
+			fields, protected := protectedCounters[owner]
+			if !protected || !fields[field] {
+				return true
+			}
+			if file := fileOf(pass, sel.Pos()); file != nil {
+				if fd := enclosingFunc(file, sel.Pos()); fd != nil &&
+					approvedAccessors[pkgSuffixKey(pass.Pkg.Path, fd.Name.Name)] {
+					return true
+				}
+			}
+			pass.Reportf(sel.Pos(), "direct increment of wrong-path-split counter %s.%s outside its approved accessor; route it through the accessor so the correct/wrong split stays audited", owner, field)
+			return true
+		})
+	}
+}
+
+// selectedField resolves a selector to (owning struct "pkg.Type",
+// field name) when it denotes a struct field.
+func selectedField(pass *Pass, sel *ast.SelectorExpr) (owner, field string, ok bool) {
+	s, found := pass.Pkg.Info.Selections[sel]
+	if !found || s.Kind() != types.FieldVal {
+		return "", "", false
+	}
+	recv := s.Recv()
+	if p, isPtr := recv.Underlying().(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name(), s.Obj().Name(), true
+}
+
+func pkgSuffixKey(pkgPath, fn string) string {
+	// Keep the last two path elements ("internal/cache") so the lookup
+	// is stable regardless of the module name.
+	parts := strings.Split(pkgPath, "/")
+	if len(parts) > 2 {
+		parts = parts[len(parts)-2:]
+	}
+	return strings.Join(parts, "/") + ":" + fn
+}
+
+func fileOf(pass *Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Pkg.Files {
+		if f.Pos() <= pos && pos <= f.End() {
+			return f
+		}
+	}
+	return nil
+}

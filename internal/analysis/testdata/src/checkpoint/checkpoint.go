@@ -1,0 +1,54 @@
+// Package checkpoint is a wplint fixture: functional checkpoints that
+// are not restored on every return path must be flagged.
+package checkpoint
+
+import (
+	"repro/internal/functional"
+	"repro/internal/isa"
+)
+
+func cpu() *functional.CPU {
+	prog := &isa.Program{}
+	return functional.New(prog, nil, 0)
+}
+
+// LeakyEarlyReturn takes a checkpoint but the early return path skips
+// the restore: flagged.
+func LeakyEarlyReturn(c *functional.CPU, bail bool) int {
+	cp := c.Checkpoint() // want: return path
+	if bail {
+		return -1
+	}
+	c.Restore(cp)
+	return 0
+}
+
+// NeverRestored falls off the end without restoring: flagged.
+func NeverRestored(c *functional.CPU) {
+	cp := c.Checkpoint() // want: return path
+	_ = cp
+}
+
+// Paired restores before its only return: passes.
+func Paired(c *functional.CPU) int {
+	cp := c.Checkpoint()
+	c.Restore(cp)
+	return 0
+}
+
+// DeferredRestore releases through a defer covering all paths: passes.
+func DeferredRestore(c *functional.CPU, bail bool) int {
+	cp := c.Checkpoint()
+	defer c.Restore(cp)
+	if bail {
+		return -1
+	}
+	return 0
+}
+
+// DeferredClosureRestore releases inside a deferred closure: passes.
+func DeferredClosureRestore(c *functional.CPU) int {
+	cp := c.Checkpoint()
+	defer func() { c.Restore(cp) }()
+	return 1
+}

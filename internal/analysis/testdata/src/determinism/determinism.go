@@ -1,0 +1,108 @@
+// Package determinism is a wplint fixture: each marked line seeds a
+// violation of the determinism analyzer; the unmarked idioms must stay
+// clean. The expected diagnostics live in testdata/determinism.golden.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Stats mimics a simulator statistics block.
+type Stats struct{ Events uint64 }
+
+// WallTime seeds the banned time.Now / time.Since calls.
+func WallTime() time.Duration {
+	start := time.Now()      // want: nondeterministic call time.Now
+	return time.Since(start) // want: nondeterministic call time.Since
+}
+
+// AllowedWallTime is the shim pattern: the directive suppresses it.
+func AllowedWallTime() time.Time {
+	return time.Now() //wplint:allow determinism -- fixture: approved shim pattern
+}
+
+// GlobalRand seeds the math/rand global-state ban; the explicitly
+// seeded generator stays legal.
+func GlobalRand() (int, int) {
+	bad := rand.Intn(10) // want: nondeterministic call math/rand.Intn
+	r := rand.New(rand.NewSource(42))
+	return bad, r.Intn(10)
+}
+
+// Env seeds the environment-read ban.
+func Env() string {
+	return os.Getenv("SEED") // want: nondeterministic call os.Getenv
+}
+
+// MapOrderCall seeds the call-inside-map-range rule.
+func MapOrderCall(m map[string]int, s *Stats) {
+	for name := range m {
+		fmt.Println(name) // want: function call inside map iteration
+	}
+	for range m {
+		s.Events++ // want: writes field Events in map-iteration order
+	}
+}
+
+// UnsortedCollect appends in map order and never sorts.
+func UnsortedCollect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want: appends to out in map-iteration order
+	}
+	return out
+}
+
+// LastWriterWins assigns a loop-dependent value to an outer variable.
+func LastWriterWins(m map[string]int) string {
+	winner := ""
+	for k := range m {
+		winner = k // want: assigns a loop-dependent value
+	}
+	return winner
+}
+
+// FloatAccum accumulates floats in map order (rounding depends on it).
+func FloatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want: accumulation is order-dependent
+	}
+	return sum
+}
+
+// OrderDependentReturn returns a map-order-dependent pick.
+func OrderDependentReturn(m map[string]int) string {
+	for k := range m {
+		return k // want: returns a value chosen by map-iteration order
+	}
+	return ""
+}
+
+// CleanIdioms must produce no diagnostics: key-indexed writes, integer
+// aggregation, constant flags, found/return-constant patterns, and the
+// collect-then-sort idiom.
+func CleanIdioms(m map[string]int) ([]string, int, bool) {
+	inverse := make(map[string]bool, len(m))
+	total := 0
+	found := false
+	for k, v := range m {
+		inverse[k] = true
+		total += v
+		if v > 100 {
+			found = true
+		}
+		local := v * 2
+		_ = local
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, total, found
+}

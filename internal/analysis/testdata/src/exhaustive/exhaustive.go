@@ -1,0 +1,69 @@
+// Package exhaustive is a wplint fixture: switches over the simulator
+// enums that miss declared constants without a default must be
+// flagged; exhaustive switches and defaulted switches must pass.
+package exhaustive
+
+import (
+	"repro/internal/isa"
+	"repro/internal/wrongpath"
+)
+
+// MissingClassCases lacks most isa.Class cases and has no default.
+func MissingClassCases(c isa.Class) int {
+	switch c { // want: not exhaustive
+	case isa.ClassALU:
+		return 1
+	case isa.ClassLoad:
+		return 2
+	}
+	return 0
+}
+
+// MissingKindCases drops the reproduction's ConvResolve extension —
+// exactly the "new policy added, dispatch not updated" hazard.
+func MissingKindCases(k wrongpath.Kind) string {
+	switch k { // want: not exhaustive
+	case wrongpath.NoWP:
+		return "nowp"
+	case wrongpath.InstRec:
+		return "instrec"
+	case wrongpath.Conv:
+		return "conv"
+	case wrongpath.WPEmul:
+		return "wpemul"
+	}
+	return ""
+}
+
+// Defaulted handles the remainder explicitly: passes.
+func Defaulted(c isa.Class) bool {
+	switch c {
+	case isa.ClassLoad, isa.ClassStore:
+		return true
+	default:
+		return false
+	}
+}
+
+// Exhaustive covers every declared wrongpath.Kind: passes without a
+// default.
+func Exhaustive(k wrongpath.Kind) bool {
+	switch k {
+	case wrongpath.NoWP:
+		return false
+	case wrongpath.InstRec, wrongpath.Conv, wrongpath.ConvResolve:
+		return true
+	case wrongpath.WPEmul:
+		return true
+	}
+	return false
+}
+
+// NonEnumSwitch is outside the enforced enum set: passes.
+func NonEnumSwitch(s string) int {
+	switch s {
+	case "a":
+		return 1
+	}
+	return 0
+}

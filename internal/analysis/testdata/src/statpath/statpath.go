@@ -1,0 +1,39 @@
+// Package statpath is a wplint fixture: raw increments of the
+// wrong-path-split statistic counters outside their approved accessors
+// must be flagged; reading them and zero-resets must pass.
+package statpath
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+// RawCacheIncrement bumps a split counter directly: flagged.
+func RawCacheIncrement(l *cache.Level) {
+	l.Stats.Wrong.Accesses++  // want: direct increment
+	l.Stats.Correct.Misses++  // want: direct increment
+	l.Stats.Wrong.Misses += 2 // want: direct increment
+}
+
+// RawHierarchyIncrement bumps the DRAM split counter directly: flagged.
+func RawHierarchyIncrement(h *cache.Hierarchy) {
+	h.WrongMemAccesses++ // want: direct increment
+}
+
+// RawCoreIncrement bumps the core's wrong-path counters directly:
+// flagged.
+func RawCoreIncrement(s *core.Stats) {
+	s.WPExecuted++ // want: direct increment
+	s.WPFetched++  // want: direct increment
+}
+
+// ReadsAndResets only reads counters and zero-resets whole blocks:
+// passes (plain assignment is a reset, not an increment).
+func ReadsAndResets(l *cache.Level, s *core.Stats) uint64 {
+	total := l.Stats.Wrong.Accesses + s.WPExecuted
+	l.Stats.Wrong.Accesses = 0
+	l.Stats = cache.LevelStats{}
+	// Non-protected counters may be incremented anywhere.
+	l.Stats.Writebacks++
+	return total
+}

@@ -71,6 +71,23 @@ func (s Stats) WPFraction() float64 {
 	return float64(s.WPExecuted) / float64(s.Instructions)
 }
 
+// noteWPFetched and noteWPExecuted are the approved accessors for the
+// wrong-path-split counters (enforced by cmd/wplint's statpath
+// analyzer): every increment goes through here so the correct/wrong
+// attribution stays audited in one place.
+
+func (s *Stats) noteWPFetched() { s.WPFetched++ }
+
+func (s *Stats) noteWPExecuted(op isa.Op, hasAddr bool) {
+	s.WPExecuted++
+	if op.IsLoad() {
+		s.WPLoads++
+		if hasAddr {
+			s.WPLoadsWithAddr++
+		}
+	}
+}
+
 type sqEntry struct {
 	addr uint64
 	size int
@@ -422,13 +439,7 @@ func (c *Core) issueAndExecute(di *trace.DynInst, disp uint64, wrongPath bool, r
 		c.regReady[rd] = done
 	}
 	if wrongPath {
-		c.stats.WPExecuted++
-		if di.In.Op.IsLoad() {
-			c.stats.WPLoads++
-			if di.HasAddr {
-				c.stats.WPLoadsWithAddr++
-			}
-		}
+		c.stats.noteWPExecuted(di.In.Op, di.HasAddr)
 	}
 	return done
 }
@@ -520,7 +531,7 @@ func (c *Core) simulateWrongPath(br *trace.DynInst, target uint64, resolve uint6
 			break
 		}
 		fetchAt := c.fetch(wp[i].PC, true)
-		c.stats.WPFetched++
+		c.stats.noteWPFetched()
 
 		disp := fetchAt + uint64(c.cfg.FetchToDispatch)
 		disp = maxU(disp, c.lastDispatch)

@@ -434,8 +434,11 @@ func evalBranch(op isa.Op, a, b uint64) bool {
 		return a < b
 	case isa.OpBgeu:
 		return a >= b
+	default:
+		// Callers guarantee op.IsCondBranch(); a non-branch here is a
+		// decode bug, never wrong-path data.
+		panic("functional: not a branch: " + op.String())
 	}
-	panic("functional: not a branch: " + op.String())
 }
 
 // sdiv implements RISC-V signed division: divide-by-zero yields -1,

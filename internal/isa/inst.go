@@ -83,12 +83,16 @@ func (in Inst) String() string {
 		return fmt.Sprintf("%s %s, 0x%x", in.Op, in.Rd, in.Target)
 	case ClassJumpInd:
 		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	default:
+		// ALU and FP classes render by operand shape below.
 	}
 	switch in.Op {
 	case OpLui:
 		return fmt.Sprintf("lui %s, %d", in.Rd, in.Imm)
 	case OpFmadd:
 		return fmt.Sprintf("fmadd %s, %s, %s, %s", in.Rd, in.Rs1, in.Rs2, in.Rs3)
+	default:
+		// Generic two/three-operand rendering below.
 	}
 	if in.Rs2 == RegNone && in.Rs1 != RegNone {
 		// Immediate-form ALU and single-source FP ops.
@@ -104,6 +108,7 @@ func hasImm(op Op) bool {
 	switch op {
 	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti, OpSltiu:
 		return true
+	default:
+		return false
 	}
-	return false
 }

@@ -66,12 +66,18 @@ func (p *Program) MustSymbol(name string) uint64 {
 // Disassemble renders the whole program with addresses and labels, for
 // debugging and for the examples.
 func (p *Program) Disassemble() string {
-	labels := make(map[uint64][]string)
-	for name, addr := range p.Symbols {
-		labels[addr] = append(labels[addr], name)
+	// Iterate the symbol table in sorted-name order so the label lists
+	// are built deterministically (map iteration order must never reach
+	// output — enforced by cmd/wplint's determinism analyzer).
+	names := make([]string, 0, len(p.Symbols))
+	for name := range p.Symbols {
+		names = append(names, name)
 	}
-	for _, names := range labels {
-		sort.Strings(names)
+	sort.Strings(names)
+	labels := make(map[uint64][]string)
+	for _, name := range names {
+		addr := p.Symbols[name]
+		labels[addr] = append(labels[addr], name)
 	}
 	var b strings.Builder
 	for i, in := range p.Insts {

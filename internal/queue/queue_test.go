@@ -116,6 +116,90 @@ func TestLookaheadFloor(t *testing.T) {
 	}
 }
 
+// TestPeekAcrossWrapAround drives head around the ring several times and
+// verifies the full peek window stays coherent at every position.
+func TestPeekAcrossWrapAround(t *testing.T) {
+	const la = 8
+	q := New(&sliceProducer{seq: mkSeq(300)}, la) // capacity 16 < 300: head must wrap
+	for popped := 0; popped < 280; popped++ {
+		// The peek window ahead of the consumer always reports the
+		// upcoming sequence numbers, regardless of where head sits.
+		for i := 0; i < la; i++ {
+			d, ok := q.Peek(i)
+			if !ok || d.Seq != uint64(popped+i) {
+				t.Fatalf("after %d pops, Peek(%d) = %+v, %v; want Seq %d",
+					popped, i, d, ok, popped+i)
+			}
+		}
+		if d, ok := q.Pop(); !ok || d.Seq != uint64(popped) {
+			t.Fatalf("pop %d = %+v, %v", popped, d, ok)
+		}
+	}
+}
+
+// TestPeekPastTailNearEnd exercises the program-end boundary: as the
+// producer drains, Peek(i) reports exactly how many instructions remain
+// (the paper's "skip the convergence check" case) and never invents
+// entries past the tail.
+func TestPeekPastTailNearEnd(t *testing.T) {
+	const n = 12
+	q := New(&sliceProducer{seq: mkSeq(n)}, 16) // capacity 32 ≥ n: false means end, not ring limit
+	for popped := 0; popped < n; popped++ {
+		remaining := n - popped
+		for i := 0; i < remaining; i++ {
+			if d, ok := q.Peek(i); !ok || d.Seq != uint64(popped+i) {
+				t.Fatalf("after %d pops, Peek(%d) = %+v, %v", popped, i, d, ok)
+			}
+		}
+		// One past the tail (and far past it) must report false without
+		// disturbing the queue.
+		if _, ok := q.Peek(remaining); ok {
+			t.Fatalf("after %d pops, Peek(%d) past tail succeeded", popped, remaining)
+		}
+		if _, ok := q.Peek(remaining + 7); ok {
+			t.Fatalf("after %d pops, Peek(%d) far past tail succeeded", popped, remaining+7)
+		}
+		if d, ok := q.Pop(); !ok || d.Seq != uint64(popped) {
+			t.Fatalf("pop %d after boundary peeks = %+v, %v", popped, d, ok)
+		}
+	}
+	if _, ok := q.Peek(0); ok {
+		t.Error("Peek(0) on a drained queue succeeded")
+	}
+}
+
+// TestPeekAfterSquashBurst models the consumer-side pattern after a
+// pipeline squash: the core discards its in-flight wrong-path work and
+// drains a burst of correct-path instructions from the queue, then peeks
+// ahead again for the next convergence check. The run-ahead window must
+// pick up exactly where the burst left off.
+func TestPeekAfterSquashBurst(t *testing.T) {
+	q := New(&sliceProducer{seq: mkSeq(500)}, 16)
+	next := uint64(0)
+	bursts := []int{1, 31, 2, 17, 64, 5, 33} // crosses the ring boundary repeatedly
+	for _, burst := range bursts {
+		// Pre-burst peek, as the convergence check does.
+		if d, ok := q.Peek(0); !ok || d.Seq != next {
+			t.Fatalf("Peek(0) before burst = %+v, %v; want Seq %d", d, ok, next)
+		}
+		for k := 0; k < burst; k++ {
+			d, ok := q.Pop()
+			if !ok || d.Seq != next {
+				t.Fatalf("burst pop = %+v, %v; want Seq %d", d, ok, next)
+			}
+			next++
+		}
+		// Post-burst window: contiguous continuation, no duplicates and
+		// no skips.
+		for i := 0; i < 16; i++ {
+			if d, ok := q.Peek(i); !ok || d.Seq != next+uint64(i) {
+				t.Fatalf("Peek(%d) after burst of %d = %+v, %v; want Seq %d",
+					i, burst, d, ok, next+uint64(i))
+			}
+		}
+	}
+}
+
 // TestQuickPeekPopAgreement: whatever Peek(i) returned is exactly what
 // the (i+1)-th subsequent Pop returns.
 func TestQuickPeekPopAgreement(t *testing.T) {

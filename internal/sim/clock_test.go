@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workloads/gap"
+	"repro/internal/wrongpath"
+)
+
+func TestFixedClockAdvances(t *testing.T) {
+	base := time.Unix(1_000_000, 0)
+	c := &FixedClock{T: base, Step: 3 * time.Second}
+	if got := c.Now(); !got.Equal(base) {
+		t.Fatalf("first Now = %v, want %v", got, base)
+	}
+	if got := c.Now(); !got.Equal(base.Add(3 * time.Second)) {
+		t.Fatalf("second Now = %v, want %v", got, base.Add(3*time.Second))
+	}
+}
+
+// TestInjectedClockDrivesWall runs a full simulation with a FixedClock
+// and checks that the reported Result.Wall comes from the injected clock
+// rather than the host: Run samples the clock exactly twice (start and
+// end), so Wall must equal one Step.
+func TestInjectedClockDrivesWall(t *testing.T) {
+	cfg := Default(wrongpath.NoWP)
+	cfg.Clock = &FixedClock{T: time.Unix(0, 0), Step: 42 * time.Millisecond}
+	w := gap.BFS(gap.TestParams())
+	inst, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(cfg, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Wall != 42*time.Millisecond {
+		t.Errorf("Wall = %v, want the injected clock's step (42ms)", r.Wall)
+	}
+}
+
+// TestNilClockDefaultsToWall checks the zero-config path still measures
+// real (non-negative) wall time through the approved shim.
+func TestNilClockDefaultsToWall(t *testing.T) {
+	var cfg Config
+	if _, ok := cfg.clock().(wallClock); !ok {
+		t.Fatalf("nil Clock resolved to %T, want wallClock", cfg.clock())
+	}
+}

@@ -47,6 +47,18 @@ type Config struct {
 	// decoupling speedup the paper attributes to functional-first
 	// simulation. Results are bit-identical to the synchronous mode.
 	ParallelFrontend bool
+	// Clock measures Result.Wall (the paper's simulation-speed metric).
+	// nil selects the real wall clock; tests inject a fake so no
+	// simulation output ever depends on host time.
+	Clock Clock
+}
+
+// clock returns the configured Clock, defaulting to the wall clock.
+func (c Config) clock() Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return wallClock{}
 }
 
 // Default returns the Golden-Cove-like configuration with the given
@@ -134,9 +146,10 @@ func Run(cfg Config, inst *workloads.Instance) (*Result, error) {
 		return nil, err
 	}
 
-	start := time.Now()
+	clk := cfg.clock()
+	start := clk.Now()
 	stats := c.RunWarmup(cfg.WarmupInsts, cfg.MaxInsts)
-	wall := time.Since(start)
+	wall := clk.Now().Sub(start)
 	if par != nil {
 		// Stop the producer goroutine before reading functional-side
 		// state (Output, Produced) to avoid racing with it.
@@ -195,9 +208,10 @@ func RunTrace(cfg Config, src queue.Producer) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	clk := cfg.clock()
+	start := clk.Now()
 	stats := c.RunWarmup(cfg.WarmupInsts, cfg.MaxInsts)
-	wall := time.Since(start)
+	wall := clk.Now().Sub(start)
 	h := c.Hierarchy()
 	res := &Result{
 		WP:               cfg.WP,
