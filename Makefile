@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check bench
+.PHONY: build test vet lint race check bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -23,3 +23,11 @@ check: build vet lint race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke runs a short fig1 sweep on the batch engine (one worker
+# per core) and records the wall clock in BENCH_fig1.json — a coarse
+# canary for batch-layer throughput regressions, not a calibrated
+# benchmark. CI runs it on every push.
+bench-smoke:
+	$(GO) run ./cmd/wpexp -exp fig1 -quick -jobs 0 -bench-out BENCH_fig1.json
+	cat BENCH_fig1.json

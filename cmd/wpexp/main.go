@@ -7,13 +7,20 @@
 //	wpexp -exp fig1            # one experiment
 //	wpexp -exp table3 -n 16384 # smaller GAP input
 //	wpexp -quick               # test-scale inputs (seconds, not minutes)
+//	wpexp -exp fig1 -jobs 0    # fan simulations out, one worker per core
+//
+// Report text is byte-identical for any -jobs value; only host
+// wall-clock changes (the speed and parallel experiments always run
+// their timed simulations serially).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/workloads/gap"
@@ -22,12 +29,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: "+strings.Join(experiments.Names(), ", ")+", or all")
-		n       = flag.Int("n", 0, "GAP graph vertices (0 = default)")
-		degree  = flag.Int("degree", 0, "GAP graph degree (0 = default)")
-		scale   = flag.Float64("scale", 0, "SPEC-proxy scale (0 = default)")
-		quick   = flag.Bool("quick", false, "use test-scale inputs")
-		verbose = flag.Bool("v", false, "print one line per simulation run")
+		exp      = flag.String("exp", "all", "experiment: "+strings.Join(experiments.Names(), ", ")+", or all")
+		n        = flag.Int("n", 0, "GAP graph vertices (0 = default)")
+		degree   = flag.Int("degree", 0, "GAP graph degree (0 = default)")
+		scale    = flag.Float64("scale", 0, "SPEC-proxy scale (0 = default)")
+		quick    = flag.Bool("quick", false, "use test-scale inputs")
+		verbose  = flag.Bool("v", false, "print one line per simulation run")
+		jobs     = flag.Int("jobs", 1, "batch worker count for independent simulations (0 = one per host core)")
+		benchOut = flag.String("bench-out", "", "write a JSON timing record for the run to this file")
 	)
 	flag.Parse()
 
@@ -55,16 +64,47 @@ func main() {
 	if *verbose {
 		opt.Progress = os.Stderr
 	}
+	opt.Jobs = *jobs
 
 	r := experiments.NewRunner(opt)
+	start := time.Now()
 	var err error
 	if *exp == "all" {
 		err = r.All()
 	} else {
 		err = r.Run(*exp)
 	}
+	wall := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wpexp: %v\n", err)
 		os.Exit(1)
 	}
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, *exp, *jobs, *quick, wall); err != nil {
+			fmt.Fprintf(os.Stderr, "wpexp: writing %s: %v\n", *benchOut, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// benchRecord is the -bench-out JSON schema, consumed by the CI
+// bench-smoke step (make bench-smoke).
+type benchRecord struct {
+	Experiment  string  `json:"experiment"`
+	Jobs        int     `json:"jobs"`
+	Quick       bool    `json:"quick"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+func writeBench(path, exp string, jobs int, quick bool, wall time.Duration) error {
+	data, err := json.MarshalIndent(benchRecord{
+		Experiment:  exp,
+		Jobs:        jobs,
+		Quick:       quick,
+		WallSeconds: wall.Seconds(),
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

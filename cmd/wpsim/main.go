@@ -6,12 +6,14 @@
 //	wpsim -suite gap -bench bfs -wp conv
 //	wpsim -suite specint -bench chase -wp nowp -max-insts 1000000
 //	wpsim -suite gap -bench pr -wp wpemul -n 8192 -degree 8
+//	wpsim -suite gap -bench bfs -wp all -jobs 4   # compare all techniques
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -25,7 +27,8 @@ func main() {
 	var (
 		suite    = flag.String("suite", "gap", "workload suite: gap, specint, specfp")
 		bench    = flag.String("bench", "bfs", "benchmark name within the suite")
-		wp       = flag.String("wp", "conv", "wrong-path technique: nowp, instrec, conv, wpemul")
+		wp       = flag.String("wp", "conv", "wrong-path technique: "+strings.Join(wrongpath.Names(), ", ")+", or all")
+		jobs     = flag.Int("jobs", 1, "-wp all worker count (0 = one per host core; wall clocks contend when > 1)")
 		maxInsts = flag.Uint64("max-insts", 0, "instruction cap (0 = workload default)")
 		warmup   = flag.Uint64("warmup", 0, "functional-warming instructions before detailed simulation")
 		parallel = flag.Bool("parallel", false, "run the functional frontend in its own goroutine")
@@ -64,15 +67,20 @@ func main() {
 		return
 	}
 
-	kind, ok := wrongpath.ParseKind(*wp)
-	if !ok {
-		fatalf("unknown wrong-path technique %q", *wp)
-	}
-
 	w, err := findWorkload(*suite, *bench, *n, *degree, *kron, *grid, *seed, *scale)
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if *wp == "all" {
+		compareAll(cfg, w, *suite, *bench, *maxInsts, *warmup, *parallel, *jobs)
+		return
+	}
+
+	kind, ok := wrongpath.ParseKind(*wp)
+	if !ok {
+		fatalf("unknown wrong-path technique %q (have %s, all)", *wp, strings.Join(wrongpath.Names(), ", "))
+	}
+
 	inst, err := w.Build()
 	if err != nil {
 		fatalf("building %s/%s: %v", *suite, *bench, err)
@@ -86,6 +94,45 @@ func main() {
 		fatalf("simulating: %v", err)
 	}
 	printResult(*suite, *bench, kind, res)
+}
+
+// compareAll runs the workload under every technique (in
+// wrongpath.Kinds() order) on the batch engine and prints a one-line
+// comparison per kind, with wpemul as the error reference.
+func compareAll(cfg core.Config, w workloads.Workload, suite, bench string, maxInsts, warmup uint64, parallel bool, jobs int) {
+	kinds := wrongpath.Kinds()
+	simCfg := sim.Config{Core: cfg, MaxInsts: maxInsts, WarmupInsts: warmup, ParallelFrontend: parallel}
+	results, err := sim.RunKinds(simCfg, w, kinds, jobs)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var ref *sim.Result
+	for i, k := range kinds {
+		if k == wrongpath.WPEmul {
+			ref = results[i]
+		}
+	}
+	fmt.Printf("workload   %s/%s\n\n", suite, bench)
+	fmt.Printf("%-10s %12s %12s %8s %10s %12s %12s\n",
+		"technique", "insts", "cycles", "IPC", "vs wpemul", "WP executed", "wall")
+	for i, k := range kinds {
+		res := results[i]
+		errCol := "(ref)"
+		if k != wrongpath.WPEmul && ref != nil {
+			errCol = fmt.Sprintf("%+.1f%%", 100*sim.Error(res, ref))
+		}
+		fmt.Printf("%-10s %12d %12d %8.4f %10s %12d %12v\n",
+			k, res.Core.Instructions, res.Core.Cycles, res.IPC(),
+			errCol, res.Core.WPExecuted, res.Wall.Round(1_000_000))
+	}
+	if jobs != 1 {
+		fmt.Printf("\n(wall clocks from concurrent runs; use -jobs 1 for calibrated timing)\n")
+	}
+	for i, k := range kinds {
+		if results[i].Err != nil {
+			fatalf("%v run ended early: %v", k, results[i].Err)
+		}
+	}
 }
 
 func findWorkload(suite, bench string, n, degree int, kron, grid bool, seed uint64, scale float64) (workloads.Workload, error) {

@@ -8,13 +8,17 @@
 //
 //	wptrace -record -suite gap -bench bfs -o bfs.trace
 //	wptrace -replay bfs.trace -wp conv
+//	wptrace -replay bfs.trace -wp all -jobs 4   # every supported technique
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/batch"
 	"repro/internal/frontend"
 	"repro/internal/functional"
 	"repro/internal/sim"
@@ -32,7 +36,8 @@ func main() {
 		out      = flag.String("o", "out.trace", "output trace path (record mode)")
 		suite    = flag.String("suite", "gap", "workload suite (record mode)")
 		bench    = flag.String("bench", "bfs", "benchmark (record mode)")
-		wp       = flag.String("wp", "conv", "wrong-path technique (replay mode; wpemul unsupported)")
+		wp       = flag.String("wp", "conv", "wrong-path technique (replay mode): "+strings.Join(wrongpath.Names(), ", ")+", or all; wpemul unsupported")
+		jobs     = flag.Int("jobs", 1, "-wp all worker count (0 = one per host core)")
 		maxInsts = flag.Uint64("max-insts", 0, "instruction cap (0 = workload default)")
 	)
 	flag.Parse()
@@ -77,9 +82,13 @@ func main() {
 			n, *out, st.Size(), float64(st.Size())/float64(n))
 
 	case *replay != "":
+		if *wp == "all" {
+			replayAll(*replay, *maxInsts, *jobs)
+			return
+		}
 		kind, ok := wrongpath.ParseKind(*wp)
 		if !ok {
-			fatal(fmt.Errorf("unknown technique %q", *wp))
+			fatal(fmt.Errorf("unknown technique %q (have %s, all)", *wp, strings.Join(wrongpath.Names(), ", ")))
 		}
 		f, err := os.Open(*replay)
 		if err != nil {
@@ -110,6 +119,60 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "wptrace: need -record or -replay; see -h")
 		os.Exit(2)
+	}
+}
+
+// replayAll replays the trace under every technique the trace frontend
+// supports, each replay over its own in-memory reader of the same trace
+// bytes, fanned out on the batch engine. Supported kinds are selected
+// by the Source capability check, not a hard-coded list: a trace source
+// cannot emulate wrong paths (paper §III-B), so wpemul is skipped.
+func replayAll(path string, maxInsts uint64, jobs int) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var kinds []wrongpath.Kind
+	for _, k := range wrongpath.Kinds() {
+		if k == wrongpath.WPEmul && !sim.NewTraceSource(nil).SupportsWPEmul() {
+			fmt.Printf("(skipping %v: unsupported on a trace frontend, paper §III-B)\n\n", k)
+			continue
+		}
+		kinds = append(kinds, k)
+	}
+	runJobs := make([]func() (*sim.Result, error), len(kinds))
+	for i, k := range kinds {
+		runJobs[i] = func() (*sim.Result, error) {
+			r, err := tracefile.NewReader(bytes.NewReader(data))
+			if err != nil {
+				return nil, err
+			}
+			cfg := sim.Default(k)
+			cfg.MaxInsts = maxInsts
+			res, err := sim.RunTrace(cfg, r)
+			if err != nil {
+				return nil, err
+			}
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			return res, nil
+		}
+	}
+	results := batch.Run(runJobs, jobs)
+	if err := batch.FirstErr(results); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-10s %12s %12s %8s %12s %12s\n",
+		"technique", "insts", "cycles", "IPC", "WP executed", "wall")
+	for i, k := range kinds {
+		res := results[i].Value
+		fmt.Printf("%-10s %12d %12d %8.4f %12d %12v\n",
+			k, res.Core.Instructions, res.Core.Cycles, res.IPC(),
+			res.Core.WPExecuted, res.Wall.Round(1_000_000))
+	}
+	if jobs != 1 {
+		fmt.Printf("\n(wall clocks from concurrent runs; use -jobs 1 for calibrated timing)\n")
 	}
 }
 

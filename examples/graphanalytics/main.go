@@ -34,20 +34,14 @@ func main() {
 	fmt.Printf("gap/%s on a %d-vertex graph (degree %d, kron=%v)\n\n", *bench, *n, *degree, *kron)
 	fmt.Printf("%-9s %8s %12s %10s %8s %10s\n", "model", "IPC", "cycles", "WP insts", "error", "wall")
 
+	kinds := wrongpath.Kinds()
+	ordered, err := sim.RunKinds(sim.Default(wrongpath.NoWP), w, kinds, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	results := map[wrongpath.Kind]*sim.Result{}
-	kinds := []wrongpath.Kind{wrongpath.NoWP, wrongpath.InstRec, wrongpath.Conv, wrongpath.ConvResolve, wrongpath.WPEmul}
-	for _, kind := range kinds {
-		inst, err := w.Build()
-		if err != nil {
-			log.Fatal(err)
-		}
-		cfg := sim.Default(kind)
-		cfg.MaxInsts = inst.SuggestedMaxInsts
-		res, err := sim.Run(cfg, inst)
-		if err != nil {
-			log.Fatal(err)
-		}
-		results[kind] = res
+	for i, kind := range kinds {
+		results[kind] = ordered[i]
 	}
 	ref := results[wrongpath.WPEmul]
 	for _, kind := range kinds {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/constant"
+	"go/token"
 	"go/types"
 	"sort"
 	"strings"
@@ -14,6 +15,10 @@ import (
 // explicit default clause. Adding an opcode, instruction class or
 // wrong-path policy then fails the lint at every dispatch site that
 // silently ignores the new case, instead of silently compiling.
+// Beyond switches, a composite literal over an enforced enum (e.g. the
+// canonical wrongpath.Kinds() ordering) can opt into the same coverage
+// check with a same-line //wplint:exhaustive directive; the literal
+// must then name every declared constant.
 var Exhaustive = &Analyzer{
 	Name: "exhaustive",
 	Doc:  "switches over ISA/policy enums must cover every constant or declare a default",
@@ -33,27 +38,89 @@ var ExhaustiveEnums = map[string]bool{
 func runExhaustive(pass *Pass) {
 	info := pass.Pkg.Info
 	for _, f := range pass.Pkg.Files {
+		marked := exhaustiveDirectiveLines(pass, f)
 		ast.Inspect(f, func(n ast.Node) bool {
-			sw, ok := n.(*ast.SwitchStmt)
-			if !ok || sw.Tag == nil {
-				return true
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				named, _, ok := enforcedEnum(pass, info.TypeOf(n.Tag))
+				if !ok {
+					return true
+				}
+				checkSwitch(pass, n, named)
+			case *ast.CompositeLit:
+				checkMarkedLiteral(pass, n, marked)
 			}
-			t := info.TypeOf(sw.Tag)
-			named, ok := t.(*types.Named)
-			if !ok || named.Obj().Pkg() == nil {
-				return true
-			}
-			qual := named.Obj().Pkg().Path() + "." + named.Obj().Name()
-			if !ExhaustiveEnums[qual] {
-				return true
-			}
-			checkSwitch(pass, sw, named, qual)
 			return true
 		})
 	}
 }
 
-func checkSwitch(pass *Pass, sw *ast.SwitchStmt, named *types.Named, qual string) {
+// enforcedEnum resolves t to an enum in ExhaustiveEnums.
+func enforcedEnum(pass *Pass, t types.Type) (*types.Named, string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil, "", false
+	}
+	qual := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	if !ExhaustiveEnums[qual] {
+		return nil, "", false
+	}
+	return named, qual, true
+}
+
+// exhaustiveDirectiveLines collects the lines of f carrying a
+// //wplint:exhaustive directive.
+func exhaustiveDirectiveLines(pass *Pass, f *ast.File) map[int]bool {
+	out := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if c.Text == "//wplint:exhaustive" || strings.HasPrefix(c.Text, "//wplint:exhaustive ") {
+				out[pass.Pkg.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkMarkedLiteral verifies a //wplint:exhaustive-marked slice or
+// array literal over an enforced enum names every declared constant.
+func checkMarkedLiteral(pass *Pass, lit *ast.CompositeLit, marked map[int]bool) {
+	if len(marked) == 0 || !marked[pass.Pkg.Fset.Position(lit.Lbrace).Line] {
+		return
+	}
+	t := pass.Pkg.Info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	var elem types.Type
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	default:
+		return
+	}
+	named, _, ok := enforcedEnum(pass, elem)
+	if !ok {
+		return
+	}
+	covered := make(map[int64]bool)
+	for _, e := range lit.Elts {
+		if tv, ok := pass.Pkg.Info.Types[e]; ok && tv.Value != nil {
+			if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+				covered[v] = true
+			}
+		}
+	}
+	reportMissing(pass, lit.Pos(), named, covered,
+		"composite literal marked //wplint:exhaustive over %s is missing %s")
+}
+
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt, named *types.Named) {
 	covered := make(map[int64]bool)
 	for _, stmt := range sw.Body.List {
 		cc := stmt.(*ast.CaseClause)
@@ -68,6 +135,14 @@ func checkSwitch(pass *Pass, sw *ast.SwitchStmt, named *types.Named, qual string
 			}
 		}
 	}
+	reportMissing(pass, sw.Pos(), named, covered,
+		"switch over %s is not exhaustive and has no default: missing %s")
+}
+
+// reportMissing diagnoses at pos the declared constants of named not
+// present in covered, using format with (enum, missing-list) verbs.
+func reportMissing(pass *Pass, pos token.Pos, named *types.Named, covered map[int64]bool, format string) {
+	qual := named.Obj().Pkg().Path() + "." + named.Obj().Name()
 	var missing []string
 	for _, c := range enumConstants(named) {
 		v, exact := constant.Int64Val(constant.ToInt(c.Val()))
@@ -83,7 +158,7 @@ func checkSwitch(pass *Pass, sw *ast.SwitchStmt, named *types.Named, qual string
 	if len(shown) > 6 {
 		shown = append(shown[:6:6], fmt.Sprintf("… (%d more)", len(missing)-6))
 	}
-	pass.Reportf(sw.Pos(), "switch over %s is not exhaustive and has no default: missing %s", qual, strings.Join(shown, ", "))
+	pass.Reportf(pos, format, qual, strings.Join(shown, ", "))
 }
 
 // enumConstants returns the package-level constants of the named type.

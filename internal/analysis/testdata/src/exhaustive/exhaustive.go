@@ -67,3 +67,25 @@ func NonEnumSwitch(s string) int {
 	}
 	return 0
 }
+
+// CompleteKindList opts into the coverage check and names every Kind:
+// passes. This is the wrongpath.Kinds() idiom.
+var CompleteKindList = [...]wrongpath.Kind{ //wplint:exhaustive
+	wrongpath.NoWP, wrongpath.InstRec, wrongpath.Conv, wrongpath.ConvResolve, wrongpath.WPEmul,
+}
+
+// IncompleteKindList is marked exhaustive but drops ConvResolve — the
+// "new Kind added, canonical list not updated" hazard.
+var IncompleteKindList = []wrongpath.Kind{ //wplint:exhaustive // want: missing ConvResolve
+	wrongpath.NoWP, wrongpath.InstRec, wrongpath.Conv, wrongpath.WPEmul,
+}
+
+// UnmarkedPartialList carries no directive: deliberately partial lists
+// (e.g. the approximate-techniques subset) stay legal.
+var UnmarkedPartialList = []wrongpath.Kind{wrongpath.NoWP, wrongpath.Conv}
+
+// MarkedNonEnumList is marked but its element type is outside the
+// enforced enum set: passes.
+var MarkedNonEnumList = []int{ //wplint:exhaustive
+	1, 2, 3,
+}

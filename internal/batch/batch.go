@@ -1,0 +1,93 @@
+// Package batch is the worker-pool engine for running independent,
+// deterministic simulations concurrently. Simulations in this
+// repository are pure functions of their Config and workload instance
+// (the determinism wplint analyzer enforces it), so a batch of them can
+// be executed on any number of workers with bit-identical results; only
+// host wall-clock time changes. The engine preserves job order in its
+// result slice and captures each job's error individually, so one
+// failed simulation does not discard the rest of a sweep.
+//
+// sim.RunKinds and the experiments.Runner fan out through this package;
+// wall-clock-measuring experiments pass workers=1 (timing runs must not
+// contend for cores).
+package batch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Result pairs one job's value with its error, at the job's index.
+type Result[T any] struct {
+	Value T
+	Err   error
+}
+
+// DefaultWorkers is the worker count selected by Run for workers <= 0:
+// one per host core.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// Run executes the jobs on a pool of worker goroutines and returns
+// their results indexed exactly like jobs, regardless of completion
+// order. workers <= 0 selects DefaultWorkers; workers == 1 runs every
+// job serially on the calling goroutine (the escape hatch for
+// wall-clock measurements); workers > len(jobs) is clamped. A nil job
+// produces a zero Result.
+func Run[T any](jobs []func() (T, error), workers int) []Result[T] {
+	out := make([]Result[T], len(jobs))
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	run := func(i int) {
+		if jobs[i] != nil {
+			out[i].Value, out[i].Err = jobs[i]()
+		}
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			run(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// FirstErr returns the error of the lowest-indexed failed job, or nil.
+func FirstErr[T any](results []Result[T]) error {
+	for i := range results {
+		if results[i].Err != nil {
+			return results[i].Err
+		}
+	}
+	return nil
+}
+
+// Values unwraps the result values, in job order. Call FirstErr first:
+// failed jobs contribute their zero value.
+func Values[T any](results []Result[T]) []T {
+	out := make([]T, len(results))
+	for i := range results {
+		out[i] = results[i].Value
+	}
+	return out
+}

@@ -1,9 +1,9 @@
 package experiments
 
 import (
+	"repro/internal/batch"
 	"repro/internal/sim"
 	"repro/internal/workloads"
-	"repro/internal/workloads/gap"
 	"repro/internal/wrongpath"
 )
 
@@ -19,6 +19,23 @@ func (r *Runner) runWith(w workloads.Workload, cfg sim.Config) (*sim.Result, err
 		cfg.MaxInsts = inst.SuggestedMaxInsts
 	}
 	return sim.Run(cfg, inst)
+}
+
+// runBatch fans independent custom-configuration runs out over the
+// batch engine, preserving job order. The ablation sweeps report
+// simulation statistics only (no wall clocks), so concurrency cannot
+// perturb their output.
+func (r *Runner) runBatch(works []workloads.Workload, cfgs []sim.Config) ([]*sim.Result, error) {
+	jobs := make([]func() (*sim.Result, error), len(works))
+	for i := range jobs {
+		w, cfg := works[i], cfgs[i]
+		jobs[i] = func() (*sim.Result, error) { return r.runWith(w, cfg) }
+	}
+	results := batch.Run(jobs, r.workers())
+	if err := batch.FirstErr(results); err != nil {
+		return nil, err
+	}
+	return batch.Values(results), nil
 }
 
 // Ablations reports the design-choice studies DESIGN.md calls out.
@@ -37,10 +54,27 @@ func (r *Runner) Ablations() error {
 // registers guarantees cache hits by construction and biases the
 // projection optimistic.
 func (r *Runner) ablationOptimism() error {
+	works := r.gapByNames("bfs", "cc", "sssp")
+	if err := r.prefetch(works, []wrongpath.Kind{wrongpath.Conv, wrongpath.WPEmul}); err != nil {
+		return err
+	}
+	looseCfgs := make([]sim.Config, len(works))
+	for i := range looseCfgs {
+		looseCfgs[i] = sim.Config{Core: r.opt.Core, WP: wrongpath.Conv,
+			PolicyFactory: func() wrongpath.Policy {
+				p := wrongpath.NewConv()
+				p.DisableIndependenceCheck = true
+				return p
+			}}
+	}
+	looseRes, err := r.runBatch(works, looseCfgs)
+	if err != nil {
+		return err
+	}
+
 	r.printf("ABLATION: conv independence check (the optimism pitfall, §III-C)\n\n")
 	r.printf("%-8s %12s %12s %14s %14s\n", "bench", "conv err", "no-check err", "conv recover", "no-check recover")
-	for _, name := range []string{"bfs", "cc", "sssp"} {
-		w, _ := gap.ByName(name, r.opt.GAP)
+	for i, w := range works {
 		ref, err := r.result(w, wrongpath.WPEmul)
 		if err != nil {
 			return err
@@ -49,23 +83,14 @@ func (r *Runner) ablationOptimism() error {
 		if err != nil {
 			return err
 		}
-		cfg := sim.Config{Core: r.opt.Core, WP: wrongpath.Conv,
-			PolicyFactory: func() wrongpath.Policy {
-				p := wrongpath.NewConv()
-				p.DisableIndependenceCheck = true
-				return p
-			}}
-		loose, err := r.runWith(w, cfg)
-		if err != nil {
-			return err
-		}
+		loose := looseRes[i]
 		recovered := func(r *sim.Result) float64 {
 			if r.Core.WPLoads == 0 {
 				return 0
 			}
 			return float64(r.Core.WPLoadsWithAddr) / float64(r.Core.WPLoads)
 		}
-		r.printf("%-8s %12s %12s %13.0f%% %13.0f%%\n", name,
+		r.printf("%-8s %12s %12s %13.0f%% %13.0f%%\n", w.Name,
 			pct(sim.Error(conv, ref)), pct(sim.Error(loose, ref)),
 			100*recovered(conv), 100*recovered(loose))
 	}
@@ -80,20 +105,21 @@ func (r *Runner) ablationOptimism() error {
 // (the paper's "larger reorder buffers increase the amount of
 // speculative instructions" trend argument).
 func (r *Runner) ablationROB() error {
+	robs := []int{128, 256, 512}
+	works, cfgs := r.sweepPairs(len(robs), func(i int) sim.Config {
+		cfg := r.opt.Core
+		cfg.ROBSize = robs[i]
+		return sim.Config{Core: cfg}
+	})
+	results, err := r.runBatch(works, cfgs)
+	if err != nil {
+		return err
+	}
+
 	r.printf("ABLATION: ROB size vs no-wrong-path error (bfs)\n\n")
 	r.printf("%-8s %12s %12s\n", "ROB", "nowp err", "WP insts/CP")
-	w, _ := gap.ByName("bfs", r.opt.GAP)
-	for _, rob := range []int{128, 256, 512} {
-		cfg := r.opt.Core
-		cfg.ROBSize = rob
-		nowp, err := r.runWith(w, sim.Config{Core: cfg, WP: wrongpath.NoWP})
-		if err != nil {
-			return err
-		}
-		ref, err := r.runWith(w, sim.Config{Core: cfg, WP: wrongpath.WPEmul})
-		if err != nil {
-			return err
-		}
+	for i, rob := range robs {
+		nowp, ref := results[2*i], results[2*i+1]
 		r.printf("%-8d %12s %11.0f%%\n", rob,
 			pct(sim.Error(nowp, ref)), 100*ref.Core.WPFraction())
 	}
@@ -110,23 +136,42 @@ func (r *Runner) ablationROB() error {
 // instead saturate the channel and mask it (bandwidth-bound wrong-path
 // prefetching has nowhere to put its prefetches).
 func (r *Runner) ablationMemLatency() error {
+	lats := []int{70, 230, 400}
+	works, cfgs := r.sweepPairs(len(lats), func(i int) sim.Config {
+		cfg := r.opt.Core
+		cfg.Hierarchy.MemLatency = lats[i]
+		cfg.Hierarchy.MemGapCycles = 0
+		return sim.Config{Core: cfg}
+	})
+	results, err := r.runBatch(works, cfgs)
+	if err != nil {
+		return err
+	}
+
 	r.printf("ABLATION: memory latency vs no-wrong-path error (bfs, unlimited DRAM bandwidth)\n\n")
 	r.printf("%-10s %12s %12s\n", "mem cycles", "nowp err", "WP insts/CP")
-	w, _ := gap.ByName("bfs", r.opt.GAP)
-	for _, lat := range []int{70, 230, 400} {
-		cfg := r.opt.Core
-		cfg.Hierarchy.MemLatency = lat
-		cfg.Hierarchy.MemGapCycles = 0
-		nowp, err := r.runWith(w, sim.Config{Core: cfg, WP: wrongpath.NoWP})
-		if err != nil {
-			return err
-		}
-		ref, err := r.runWith(w, sim.Config{Core: cfg, WP: wrongpath.WPEmul})
-		if err != nil {
-			return err
-		}
+	for i, lat := range lats {
+		nowp, ref := results[2*i], results[2*i+1]
 		r.printf("%-10d %12s %11.0f%%\n", lat,
 			pct(sim.Error(nowp, ref)), 100*ref.Core.WPFraction())
 	}
 	return nil
+}
+
+// sweepPairs lays out a bfs sweep of n configuration points as
+// (nowp, wpemul) job pairs: index 2i is point i under NoWP, 2i+1 the
+// wpemul reference.
+func (r *Runner) sweepPairs(n int, point func(i int) sim.Config) ([]workloads.Workload, []sim.Config) {
+	w := r.gapByNames("bfs")[0]
+	works := make([]workloads.Workload, 0, 2*n)
+	cfgs := make([]sim.Config, 0, 2*n)
+	for i := 0; i < n; i++ {
+		for _, k := range []wrongpath.Kind{wrongpath.NoWP, wrongpath.WPEmul} {
+			cfg := point(i)
+			cfg.WP = k
+			works = append(works, w)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return works, cfgs
 }

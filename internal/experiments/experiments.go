@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -33,7 +34,27 @@ import (
 
 // Kinds lists the techniques in report order: the paper's four plus
 // this reproduction's conv + wrong-path-branch-resolution extension.
-var Kinds = []wrongpath.Kind{wrongpath.NoWP, wrongpath.InstRec, wrongpath.Conv, wrongpath.ConvResolve, wrongpath.WPEmul}
+// The canonical ordering lives in wrongpath.Kinds(), where wplint
+// enforces completeness.
+var Kinds = wrongpath.Kinds()
+
+// approx lists the approximate techniques — every kind but the wpemul
+// reference — for the per-benchmark error columns.
+var approx = allBut(wrongpath.WPEmul)
+
+// wpGen lists the techniques that generate wrong-path instructions —
+// every kind but nowp — for Table II and the speed comparison.
+var wpGen = allBut(wrongpath.NoWP)
+
+func allBut(skip wrongpath.Kind) []wrongpath.Kind {
+	var out []wrongpath.Kind
+	for _, k := range wrongpath.Kinds() {
+		if k != skip {
+			out = append(out, k)
+		}
+	}
+	return out
+}
 
 // Options configures a Runner.
 type Options struct {
@@ -47,6 +68,12 @@ type Options struct {
 	Out io.Writer
 	// Progress, when non-nil, receives one line per simulation run.
 	Progress io.Writer
+	// Jobs is the batch-engine worker count for independent simulations
+	// (0 = one per host core, 1 = serial). Report text is byte-identical
+	// for any worker count; only wall-clock measurements vary, which is
+	// why the speed and parallel experiments always run their
+	// simulations serially regardless of Jobs.
+	Jobs int
 }
 
 func (o *Options) fill() {
@@ -77,12 +104,23 @@ func (r *Runner) printf(format string, args ...interface{}) {
 	fmt.Fprintf(r.opt.Out, format, args...)
 }
 
-// result runs (or recalls) one workload under one technique.
-func (r *Runner) result(w workloads.Workload, k wrongpath.Kind) (*sim.Result, error) {
-	key := w.Suite + "/" + w.Name + "/" + k.String()
-	if res, ok := r.cache[key]; ok {
-		return res, nil
+// workers is the batch worker count the table/figure drivers fan out
+// with.
+func (r *Runner) workers() int {
+	if r.opt.Jobs > 0 {
+		return r.opt.Jobs
 	}
+	return batch.DefaultWorkers()
+}
+
+func cacheKey(w workloads.Workload, k wrongpath.Kind) string {
+	return w.Suite + "/" + w.Name + "/" + k.String()
+}
+
+// simulate runs one workload under one technique with the runner's
+// core configuration. It is pure (no cache or progress access), so the
+// batch engine may call it from any worker goroutine.
+func (r *Runner) simulate(w workloads.Workload, k wrongpath.Kind) (*sim.Result, error) {
 	inst, err := w.Build()
 	if err != nil {
 		return nil, err
@@ -93,17 +131,79 @@ func (r *Runner) result(w workloads.Workload, k wrongpath.Kind) (*sim.Result, er
 		return nil, err
 	}
 	if res.Err != nil {
-		return nil, fmt.Errorf("%s under %v: functional error: %w", key, k, res.Err)
+		return nil, fmt.Errorf("%s under %v: functional error: %w", cacheKey(w, k), k, res.Err)
 	}
+	return res, nil
+}
+
+// record memoizes one finished run and emits its progress line.
+func (r *Runner) record(key string, res *sim.Result) {
 	if r.opt.Progress != nil {
 		fmt.Fprintf(r.opt.Progress, "ran %-28s insts=%-9d cycles=%-10d IPC=%.3f wall=%v\n",
 			key, res.Core.Instructions, res.Core.Cycles, res.IPC(), res.Wall.Round(1_000_000))
 	}
 	r.cache[key] = res
+}
+
+// prefetch runs every uncached (workload, technique) pair through the
+// batch engine and fills the memoization cache. Cache writes and
+// progress lines happen on the calling goroutine in pair order, so the
+// runner's behaviour is deterministic for any worker count.
+func (r *Runner) prefetch(works []workloads.Workload, kinds []wrongpath.Kind) error {
+	type unit struct {
+		w   workloads.Workload
+		k   wrongpath.Kind
+		key string
+	}
+	var todo []unit
+	for _, w := range works {
+		for _, k := range kinds {
+			key := cacheKey(w, k)
+			if _, ok := r.cache[key]; !ok {
+				todo = append(todo, unit{w, k, key})
+			}
+		}
+	}
+	jobs := make([]func() (*sim.Result, error), len(todo))
+	for i := range jobs {
+		u := todo[i]
+		jobs[i] = func() (*sim.Result, error) { return r.simulate(u.w, u.k) }
+	}
+	for i, br := range batch.Run(jobs, r.workers()) {
+		if br.Err != nil {
+			return fmt.Errorf("%s: %w", todo[i].key, br.Err)
+		}
+		r.record(todo[i].key, br.Value)
+	}
+	return nil
+}
+
+// result runs (or recalls) one workload under one technique, serially.
+// Drivers that need many runs prefetch them first; the speed experiment
+// relies on this path staying serial for uncontended wall clocks.
+func (r *Runner) result(w workloads.Workload, k wrongpath.Kind) (*sim.Result, error) {
+	key := cacheKey(w, k)
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	res, err := r.simulate(w, k)
+	if err != nil {
+		return nil, err
+	}
+	r.record(key, res)
 	return res, nil
 }
 
-// all runs one workload under all four techniques.
+// gapByNames resolves GAP workloads at the runner's input scale.
+func (r *Runner) gapByNames(names ...string) []workloads.Workload {
+	out := make([]workloads.Workload, len(names))
+	for i, name := range names {
+		out[i], _ = gap.ByName(name, r.opt.GAP)
+	}
+	return out
+}
+
+// all runs one workload under every technique.
 func (r *Runner) all(w workloads.Workload) (map[wrongpath.Kind]*sim.Result, error) {
 	out := make(map[wrongpath.Kind]*sim.Result, len(Kinds))
 	for _, k := range Kinds {
@@ -129,6 +229,9 @@ func (r *Runner) Table1() error {
 // modeling the wrong path, per GAP benchmark, against wrong-path
 // emulation.
 func (r *Runner) Fig1() error {
+	if err := r.prefetch(gap.Suite(r.opt.GAP), []wrongpath.Kind{wrongpath.NoWP, wrongpath.WPEmul}); err != nil {
+		return err
+	}
 	r.printf("FIG 1: performance estimation error of no wrong-path modeling (GAP)\n")
 	r.printf("       error = (IPC_nowp - IPC_wpemul) / IPC_wpemul\n\n")
 	r.printf("%-8s %10s %10s %10s\n", "bench", "nowp IPC", "wpemul IPC", "error")
@@ -155,6 +258,9 @@ func (r *Runner) Fig1() error {
 // Fig4GAP reproduces the left half of Figure 4: the error of every
 // approximate technique per GAP benchmark.
 func (r *Runner) Fig4GAP() error {
+	if err := r.prefetch(gap.Suite(r.opt.GAP), Kinds); err != nil {
+		return err
+	}
 	r.printf("FIG 4 (left): wrong-path modeling error per technique (GAP)\n\n")
 	r.printf("%-8s %10s %10s %10s %10s\n", "bench", "nowp", "instrec", "conv", "convres*")
 	sums := map[wrongpath.Kind]float64{}
@@ -165,7 +271,7 @@ func (r *Runner) Fig4GAP() error {
 		}
 		ref := res[wrongpath.WPEmul]
 		r.printf("%-8s", w.Name)
-		for _, k := range []wrongpath.Kind{wrongpath.NoWP, wrongpath.InstRec, wrongpath.Conv, wrongpath.ConvResolve} {
+		for _, k := range approx {
 			e := sim.Error(res[k], ref)
 			sums[k] += e
 			r.printf(" %10s", pct(e))
@@ -173,7 +279,7 @@ func (r *Runner) Fig4GAP() error {
 		r.printf("\n")
 	}
 	r.printf("%-8s", "mean")
-	for _, k := range []wrongpath.Kind{wrongpath.NoWP, wrongpath.InstRec, wrongpath.Conv, wrongpath.ConvResolve} {
+	for _, k := range approx {
 		r.printf(" %10s", pct(sums[k]/6))
 	}
 	r.printf("\n\n(*) convres = conv + wrong-path branch resolution, this reproduction's\n")
@@ -187,6 +293,9 @@ func (r *Runner) Fig4GAP() error {
 // Fig4SPEC reproduces the right half of Figure 4: the error
 // distribution over the SPEC-proxy suite per technique.
 func (r *Runner) Fig4SPEC() error {
+	if err := r.prefetch(specproxy.Suite(r.opt.Spec), Kinds); err != nil {
+		return err
+	}
 	r.printf("FIG 4 (right): error distribution over SPEC proxies per technique\n\n")
 	type point struct {
 		name string
@@ -201,7 +310,7 @@ func (r *Runner) Fig4SPEC() error {
 		}
 		ref := res[wrongpath.WPEmul]
 		pt := point{name: w.Name, fp: w.Suite == "specfp", err: map[wrongpath.Kind]float64{}}
-		for _, k := range []wrongpath.Kind{wrongpath.NoWP, wrongpath.InstRec, wrongpath.Conv, wrongpath.ConvResolve} {
+		for _, k := range approx {
 			pt.err[k] = sim.Error(res[k], ref)
 		}
 		points = append(points, pt)
@@ -218,7 +327,7 @@ func (r *Runner) Fig4SPEC() error {
 			pct(pt.err[wrongpath.Conv]), pct(pt.err[wrongpath.ConvResolve]))
 	}
 
-	for _, k := range []wrongpath.Kind{wrongpath.NoWP, wrongpath.InstRec, wrongpath.Conv, wrongpath.ConvResolve} {
+	for _, k := range approx {
 		var intAbs, fpAbs float64
 		var nInt, nFP int
 		var near int
@@ -256,13 +365,13 @@ func (r *Runner) Fig4SPEC() error {
 		{"  > +2%  ", 0.02, 1e9},
 	}
 	r.printf("%-10s", "")
-	for _, k := range []wrongpath.Kind{wrongpath.NoWP, wrongpath.InstRec, wrongpath.Conv, wrongpath.ConvResolve} {
+	for _, k := range approx {
 		r.printf(" %-21s", k)
 	}
 	r.printf("\n")
 	for _, b := range buckets {
 		r.printf("%-10s", b.label)
-		for _, k := range []wrongpath.Kind{wrongpath.NoWP, wrongpath.InstRec, wrongpath.Conv, wrongpath.ConvResolve} {
+		for _, k := range approx {
 			n := 0
 			for _, pt := range points {
 				if e := pt.err[k]; e >= b.lo && e < b.hi {
@@ -282,11 +391,14 @@ func (r *Runner) Fig4SPEC() error {
 // Table2 reproduces Table II: wrong-path instructions executed by each
 // technique, relative to the correct-path instruction count.
 func (r *Runner) Table2() error {
+	if err := r.prefetch(gap.Suite(r.opt.GAP), wpGen); err != nil {
+		return err
+	}
 	r.printf("TABLE II: wrong-path instructions executed / correct-path instructions (GAP)\n\n")
 	r.printf("%-8s %10s %10s %10s %10s\n", "bench", "instrec", "conv", "convres*", "wpemul")
 	for _, w := range gap.Suite(r.opt.GAP) {
 		r.printf("%-8s", w.Name)
-		for _, k := range []wrongpath.Kind{wrongpath.InstRec, wrongpath.Conv, wrongpath.ConvResolve, wrongpath.WPEmul} {
+		for _, k := range wpGen {
 			res, err := r.result(w, k)
 			if err != nil {
 				return err
@@ -308,6 +420,9 @@ func (r *Runner) Table2() error {
 // the front of the wrong path, exactly the ones the paper notes "have
 // the most impact on cache hits".
 func (r *Runner) Table3() error {
+	if err := r.prefetch(gap.Suite(r.opt.GAP), []wrongpath.Kind{wrongpath.Conv, wrongpath.WPEmul}); err != nil {
+		return err
+	}
 	r.printf("TABLE III: convergence exploitation metrics (GAP)\n\n")
 	r.printf("%-8s %10s %10s %12s %12s\n", "bench", "conv frac", "conv dist", "addr recover", "WP L2 miss")
 	for _, w := range gap.Suite(r.opt.GAP) {
@@ -340,9 +455,16 @@ func (r *Runner) Table3() error {
 }
 
 // Speed reproduces the §V-B simulation-speed comparison: wall-clock
-// slowdown of each technique normalized to nowp, for both suites.
+// slowdown of each technique normalized to nowp, for both suites. It
+// is the batch engine's workers=1 escape hatch: any simulation it
+// still has to run goes through the serial result path, because wall
+// clocks measured under core contention are meaningless. Runs already
+// memoized by earlier experiments (a -exp all sweep with -jobs > 1)
+// were concurrent, so for calibrated numbers run -exp speed alone.
 func (r *Runner) Speed() error {
-	r.printf("SIMULATION SPEED: slowdown vs no wrong-path modeling\n\n")
+	r.printf("SIMULATION SPEED: slowdown vs no wrong-path modeling\n")
+	r.printf("(wall clocks come from serial runs when this experiment runs alone;\n")
+	r.printf("in a full sweep with -jobs > 1 they reflect concurrent execution)\n\n")
 	suites := []struct {
 		name  string
 		works []workloads.Workload
@@ -352,7 +474,7 @@ func (r *Runner) Speed() error {
 	}
 	for _, s := range suites {
 		r.printf("%s:\n%-10s %10s %10s\n", s.name, "technique", "avg", "max")
-		for _, k := range []wrongpath.Kind{wrongpath.InstRec, wrongpath.Conv, wrongpath.ConvResolve, wrongpath.WPEmul} {
+		for _, k := range wpGen {
 			var sum, max float64
 			for _, w := range s.works {
 				base, err := r.result(w, wrongpath.NoWP)

@@ -10,11 +10,17 @@ import (
 
 func testRunner(t *testing.T) (*Runner, *strings.Builder) {
 	t.Helper()
+	return testRunnerJobs(t, 0)
+}
+
+func testRunnerJobs(t *testing.T, jobs int) (*Runner, *strings.Builder) {
+	t.Helper()
 	var out strings.Builder
 	r := NewRunner(Options{
 		GAP:  gap.Params{N: 256, Degree: 4, Seed: 7, MaxInsts: 60_000},
 		Spec: specproxy.Params{Scale: 0.01, Seed: 99},
 		Out:  &out,
+		Jobs: jobs,
 	})
 	return r, &out
 }
@@ -66,6 +72,33 @@ func TestNamesRegistered(t *testing.T) {
 		if !found {
 			t.Errorf("experiment %q not registered", want)
 		}
+	}
+}
+
+// TestReportBytesIdenticalAcrossJobs: Options.Jobs may only change
+// host wall-clock behaviour — the report text must be byte-identical
+// between a serial and a parallel runner. The experiments chosen cover
+// the prefetch path (fig1, table3) and the custom-configuration batch
+// path (ablation); speed/parallel are excluded because they print wall
+// clocks by design.
+func TestReportBytesIdenticalAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("miniature experiment sweep skipped in -short mode")
+	}
+	exps := []string{"fig1", "table3", "ablation"}
+	serial, serialOut := testRunnerJobs(t, 1)
+	parallel, parallelOut := testRunnerJobs(t, 4)
+	for _, exp := range exps {
+		if err := serial.Run(exp); err != nil {
+			t.Fatalf("jobs=1 %s: %v", exp, err)
+		}
+		if err := parallel.Run(exp); err != nil {
+			t.Fatalf("jobs=4 %s: %v", exp, err)
+		}
+	}
+	if serialOut.String() != parallelOut.String() {
+		t.Errorf("report text differs between jobs=1 and jobs=4:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s",
+			serialOut.String(), parallelOut.String())
 	}
 }
 

@@ -20,6 +20,12 @@ func (r *Runner) Parallel() error {
 	r.printf("%-10s %-9s %12s %12s %9s\n", "bench", "model", "sync wall", "parallel", "speedup")
 	for _, name := range []string{"bfs", "cc"} {
 		w, _ := gap.ByName(name, r.opt.GAP)
+		// Deliberate subset of wrongpath.Kinds(): one no-wrong-path
+		// baseline, one cheap reconstruction technique, and the expensive
+		// emulation reference are enough to show the overlap trend, and
+		// every pair here is a timed serial run (Options.Jobs never
+		// applies — wall clocks measured under contention are
+		// meaningless), so each extra kind costs four timed simulations.
 		for _, k := range []wrongpath.Kind{wrongpath.NoWP, wrongpath.Conv, wrongpath.WPEmul} {
 			seq, err := r.runWith(w, sim.Config{Core: r.opt.Core, WP: k})
 			if err != nil {

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/queue"
+	"repro/internal/wrongpath"
+)
+
+// Session is one wired-up simulation: a Source feeding the decoupling
+// queue, a wrong-path policy, and the out-of-order core, constructed
+// from a Config in exactly one place. Run/RunTrace are thin wrappers
+// over it; construct a Session directly to supply a custom Source.
+type Session struct {
+	cfg    Config
+	src    Source
+	queue  *queue.Queue
+	policy wrongpath.Policy
+	core   *core.Core
+}
+
+// NewSession validates the configuration against the source's
+// capabilities and builds queue → policy → core. On error nothing is
+// retained; the caller still owns (and must Close) the source.
+func NewSession(cfg Config, src Source) (*Session, error) {
+	if err := cfg.Core.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.WP == wrongpath.WPEmul && !src.SupportsWPEmul() {
+		return nil, fmt.Errorf("sim: wrong-path emulation requires a live functional frontend, not a trace (paper §III-B)")
+	}
+	q := queue.New(src, cfg.lookahead())
+	var policy wrongpath.Policy
+	if cfg.PolicyFactory != nil {
+		policy = cfg.PolicyFactory()
+	} else {
+		policy = wrongpath.New(cfg.WP)
+	}
+	c, err := core.New(cfg.Core, q, policy)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{cfg: cfg, src: src, queue: q, policy: policy, core: c}, nil
+}
+
+// Run executes the warmup and measured simulation, closes the source,
+// and collects the Result. It is single-shot: the session's pipeline
+// state is consumed by the run.
+func (s *Session) Run() *Result {
+	clk := s.cfg.clock()
+	start := clk.Now()
+	stats := s.core.RunWarmup(s.cfg.WarmupInsts, s.cfg.MaxInsts)
+	wall := clk.Now().Sub(start)
+	s.src.Close()
+
+	h := s.core.Hierarchy()
+	res := &Result{
+		WP:               s.cfg.WP,
+		Core:             stats,
+		Policy:           *s.policy.Stats(),
+		L1I:              h.L1I().Stats,
+		L1D:              h.L1D().Stats,
+		L2:               h.L2().Stats,
+		LLC:              h.LLC().Stats,
+		MemAccesses:      h.MemAccesses,
+		WrongMemAccesses: h.WrongMemAccesses,
+		Wall:             wall,
+	}
+	if h.ITLB() != nil {
+		res.ITLB = h.ITLB().Stats
+	}
+	if h.DTLB() != nil {
+		res.DTLB = h.DTLB().Stats
+	}
+	s.src.Collect(res)
+	return res
+}

@@ -3,6 +3,13 @@
 // decoupling queue → out-of-order core with a wrong-path policy. It is
 // the library's primary public surface: construct a Config, point it at
 // a workload instance, and Run.
+//
+// Internally every entry point goes through one session layer: a
+// Source (live functional frontend, parallel frontend, or trace
+// interpreter — the paper's three frontend kinds) feeds a Session,
+// which builds queue → policy → core and collects the Result in one
+// place. Run/RunTrace are thin wrappers; RunKinds fans independent
+// simulations out over the internal/batch worker pool.
 package sim
 
 import (
@@ -10,10 +17,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/cache"
 	"repro/internal/core"
-	"repro/internal/frontend"
-	"repro/internal/functional"
 	"repro/internal/queue"
 	"repro/internal/workloads"
 	"repro/internal/wrongpath"
@@ -112,127 +118,32 @@ type Result struct {
 // IPC returns the projected instructions per cycle.
 func (r *Result) IPC() float64 { return r.Core.IPC() }
 
-// Run simulates the workload instance under the configuration.
+// Run simulates the workload instance under the configuration. It is a
+// thin wrapper over the session layer: a live functional Source plus a
+// Session, with results identical to constructing both by hand.
 func Run(cfg Config, inst *workloads.Instance) (*Result, error) {
-	if err := cfg.Core.Validate(); err != nil {
-		return nil, err
-	}
-	cpu := functional.New(inst.Prog, inst.Mem, inst.StackTop)
-	opts := []frontend.Option{}
-	if cfg.WP == wrongpath.WPEmul {
-		opts = append(opts, frontend.WithWrongPathEmulation(cfg.Core.BranchPred, cfg.Core.WPMaxLen()))
-	}
-	if cfg.MaxInsts > 0 {
-		// Bound the functional side explicitly so a parallel frontend
-		// does not run past the budget the core will simulate.
-		opts = append(opts, frontend.WithMaxInstructions(cfg.WarmupInsts+cfg.MaxInsts+uint64(cfg.lookahead())+1))
-	}
-	fe := frontend.New(cpu, opts...)
-	var producer queue.Producer = fe
-	var par *frontend.Parallel
-	if cfg.ParallelFrontend {
-		par = frontend.NewParallel(fe, frontend.DefaultBatch, frontend.DefaultDepth)
-		producer = par
-	}
-	q := queue.New(producer, cfg.lookahead())
-	var policy wrongpath.Policy
-	if cfg.PolicyFactory != nil {
-		policy = cfg.PolicyFactory()
-	} else {
-		policy = wrongpath.New(cfg.WP)
-	}
-	c, err := core.New(cfg.Core, q, policy)
+	src := NewFunctionalSource(cfg, inst)
+	s, err := NewSession(cfg, src)
 	if err != nil {
+		src.Close()
 		return nil, err
 	}
-
-	clk := cfg.clock()
-	start := clk.Now()
-	stats := c.RunWarmup(cfg.WarmupInsts, cfg.MaxInsts)
-	wall := clk.Now().Sub(start)
-	if par != nil {
-		// Stop the producer goroutine before reading functional-side
-		// state (Output, Produced) to avoid racing with it.
-		par.Close()
-	}
-
-	h := c.Hierarchy()
-	paths, insts := fe.WPEmulations()
-	res := &Result{
-		WP:               cfg.WP,
-		Core:             stats,
-		Policy:           *policy.Stats(),
-		L1I:              h.L1I().Stats,
-		L1D:              h.L1D().Stats,
-		L2:               h.L2().Stats,
-		LLC:              h.LLC().Stats,
-		MemAccesses:      h.MemAccesses,
-		WrongMemAccesses: h.WrongMemAccesses,
-		FunctionalInsts:  fe.Produced(),
-		WPEmulatedPaths:  paths,
-		WPEmulatedInsts:  insts,
-		Output:           cpu.Output,
-		Wall:             wall,
-		Err:              fe.Err(),
-	}
-	if h.ITLB() != nil {
-		res.ITLB = h.ITLB().Stats
-	}
-	if h.DTLB() != nil {
-		res.DTLB = h.DTLB().Stats
-	}
-	return res, nil
+	return s.Run(), nil
 }
 
 // RunTrace simulates a pre-recorded instruction trace (see
 // internal/tracefile). Per the paper's §III-B, a trace frontend cannot
 // support functional wrong-path emulation — the trace only contains
-// correct-path instructions — so wrongpath.WPEmul is rejected; every
-// reconstruction-based technique works, because those only need the
-// decode information and run-ahead that the trace preserves.
+// correct-path instructions — so wrongpath.WPEmul is rejected by the
+// session's capability check; every reconstruction-based technique
+// works, because those only need the decode information and run-ahead
+// that the trace preserves.
 func RunTrace(cfg Config, src queue.Producer) (*Result, error) {
-	if err := cfg.Core.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.WP == wrongpath.WPEmul {
-		return nil, fmt.Errorf("sim: wrong-path emulation requires a live functional frontend, not a trace (paper §III-B)")
-	}
-	q := queue.New(src, cfg.lookahead())
-	var policy wrongpath.Policy
-	if cfg.PolicyFactory != nil {
-		policy = cfg.PolicyFactory()
-	} else {
-		policy = wrongpath.New(cfg.WP)
-	}
-	c, err := core.New(cfg.Core, q, policy)
+	s, err := NewSession(cfg, NewTraceSource(src))
 	if err != nil {
 		return nil, err
 	}
-	clk := cfg.clock()
-	start := clk.Now()
-	stats := c.RunWarmup(cfg.WarmupInsts, cfg.MaxInsts)
-	wall := clk.Now().Sub(start)
-	h := c.Hierarchy()
-	res := &Result{
-		WP:               cfg.WP,
-		Core:             stats,
-		Policy:           *policy.Stats(),
-		L1I:              h.L1I().Stats,
-		L1D:              h.L1D().Stats,
-		L2:               h.L2().Stats,
-		LLC:              h.LLC().Stats,
-		MemAccesses:      h.MemAccesses,
-		WrongMemAccesses: h.WrongMemAccesses,
-		FunctionalInsts:  stats.Instructions,
-		Wall:             wall,
-	}
-	if h.ITLB() != nil {
-		res.ITLB = h.ITLB().Stats
-	}
-	if h.DTLB() != nil {
-		res.DTLB = h.DTLB().Stats
-	}
-	return res, nil
+	return s.Run(), nil
 }
 
 // Error is the paper's accuracy metric: the relative difference in
@@ -246,26 +157,57 @@ func Error(tech, ref *Result) float64 {
 	return (tech.IPC() - ref.IPC()) / ref.IPC()
 }
 
+// RunKinds simulates the instance-factory under each given technique
+// and returns results in kinds order — the deterministic, ordered
+// counterpart of RunAll. A fresh instance is built per run so each
+// technique sees pristine state; the runs are independent and execute
+// on the batch engine with the given worker count (<= 0 one per host
+// core, 1 serial). Simulation results are bit-identical for any worker
+// count; only the per-run Wall timings vary with contention, so pass
+// workers=1 when they matter.
+func RunKinds(cfg Config, w workloads.Workload, kinds []wrongpath.Kind, workers int) ([]*Result, error) {
+	jobs := make([]func() (*Result, error), len(kinds))
+	for i, k := range kinds {
+		jobs[i] = func() (*Result, error) {
+			inst, err := w.Build()
+			if err != nil {
+				return nil, fmt.Errorf("sim: building %s/%s: %w", w.Suite, w.Name, err)
+			}
+			c := cfg
+			c.WP = k
+			if c.MaxInsts == 0 {
+				c.MaxInsts = inst.SuggestedMaxInsts
+			}
+			r, err := Run(c, inst)
+			if err != nil {
+				return nil, fmt.Errorf("sim: running %s/%s under %v: %w", w.Suite, w.Name, k, err)
+			}
+			return r, nil
+		}
+	}
+	results := batch.Run(jobs, workers)
+	if err := batch.FirstErr(results); err != nil {
+		return nil, err
+	}
+	return batch.Values(results), nil
+}
+
 // RunAll simulates the instance-factory under every technique and
-// returns results indexed by kind. A fresh instance is built per run so
-// each technique sees pristine state.
+// returns results indexed by kind; it runs serially (RunKinds with
+// workers=1) so per-run Wall timings stay uncontended. The map's
+// iteration order is random per Go semantics — consumers that render or
+// aggregate order-sensitively must index it by wrongpath.Kinds() (as
+// the experiment drivers do) or use RunKinds directly, which returns
+// the ordered slice.
 func RunAll(cfg Config, w workloads.Workload) (map[wrongpath.Kind]*Result, error) {
-	out := make(map[wrongpath.Kind]*Result, 5)
-	for _, k := range []wrongpath.Kind{wrongpath.NoWP, wrongpath.InstRec, wrongpath.Conv, wrongpath.ConvResolve, wrongpath.WPEmul} {
-		inst, err := w.Build()
-		if err != nil {
-			return nil, fmt.Errorf("sim: building %s/%s: %w", w.Suite, w.Name, err)
-		}
-		c := cfg
-		c.WP = k
-		if c.MaxInsts == 0 {
-			c.MaxInsts = inst.SuggestedMaxInsts
-		}
-		r, err := Run(c, inst)
-		if err != nil {
-			return nil, fmt.Errorf("sim: running %s/%s under %v: %w", w.Suite, w.Name, k, err)
-		}
-		out[k] = r
+	kinds := wrongpath.Kinds()
+	results, err := RunKinds(cfg, w, kinds, 1)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[wrongpath.Kind]*Result, len(kinds))
+	for i, k := range kinds {
+		out[k] = results[i]
 	}
 	return out, nil
 }

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"repro/internal/frontend"
+	"repro/internal/functional"
+	"repro/internal/queue"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+	"repro/internal/wrongpath"
+)
+
+// Source is the unified producer abstraction over the three frontend
+// kinds the paper lists (§III-B): the live functional frontend, the
+// parallel (decoupled-goroutine) functional frontend, and the trace
+// interpreter. A Source feeds the decoupling queue and declares its
+// capabilities, so the session layer can validate a Config against any
+// frontend with one check instead of a special-cased entry point per
+// combination.
+type Source interface {
+	queue.Producer
+
+	// SupportsWPEmul reports whether the source can functionally
+	// emulate wrong paths. Live functional frontends can; a trace
+	// interpreter cannot, because "the trace only contains correct-path
+	// instructions" (§III-B).
+	SupportsWPEmul() bool
+
+	// Close stops any background production (the parallel frontend's
+	// producer goroutine). The session calls it after the timing run,
+	// before Collect; it must be safe to call on a source that never
+	// started.
+	Close()
+
+	// Collect fills the source-side Result fields (functional
+	// instruction count, emulation counters, program output, functional
+	// error) after the run. Core-side fields are already populated when
+	// Collect is called.
+	Collect(res *Result)
+}
+
+// functionalSource drives a live functional CPU, optionally decoupled
+// into its own goroutine (Config.ParallelFrontend) and optionally
+// emulating wrong paths (Config.WP == wrongpath.WPEmul).
+type functionalSource struct {
+	cpu      *functional.CPU
+	fe       *frontend.Frontend
+	par      *frontend.Parallel
+	producer queue.Producer
+}
+
+// NewFunctionalSource builds the live functional frontend for the
+// instance under cfg: wrong-path emulation when cfg.WP selects it, the
+// instruction bound derived from cfg's budget, and the parallel
+// producer goroutine when cfg.ParallelFrontend is set. Close must be
+// called (sessions do) or the parallel goroutine leaks.
+func NewFunctionalSource(cfg Config, inst *workloads.Instance) Source {
+	cpu := functional.New(inst.Prog, inst.Mem, inst.StackTop)
+	opts := []frontend.Option{}
+	if cfg.WP == wrongpath.WPEmul {
+		opts = append(opts, frontend.WithWrongPathEmulation(cfg.Core.BranchPred, cfg.Core.WPMaxLen()))
+	}
+	if cfg.MaxInsts > 0 {
+		// Bound the functional side explicitly so a parallel frontend
+		// does not run past the budget the core will simulate.
+		opts = append(opts, frontend.WithMaxInstructions(cfg.WarmupInsts+cfg.MaxInsts+uint64(cfg.lookahead())+1))
+	}
+	fe := frontend.New(cpu, opts...)
+	s := &functionalSource{cpu: cpu, fe: fe, producer: fe}
+	if cfg.ParallelFrontend {
+		s.par = frontend.NewParallel(fe, frontend.DefaultBatch, frontend.DefaultDepth)
+		s.producer = s.par
+	}
+	return s
+}
+
+func (s *functionalSource) Next() (trace.DynInst, bool) { return s.producer.Next() }
+
+func (s *functionalSource) SupportsWPEmul() bool { return true }
+
+func (s *functionalSource) Close() {
+	if s.par != nil {
+		// Stop the producer goroutine before reading functional-side
+		// state (Output, Produced) to avoid racing with it.
+		s.par.Close()
+	}
+}
+
+func (s *functionalSource) Collect(res *Result) {
+	paths, insts := s.fe.WPEmulations()
+	res.FunctionalInsts = s.fe.Produced()
+	res.WPEmulatedPaths = paths
+	res.WPEmulatedInsts = insts
+	res.Output = s.cpu.Output
+	res.Err = s.fe.Err()
+}
+
+// traceSource adapts a pre-recorded instruction stream (typically a
+// *tracefile.Reader) to the Source interface. It cannot emulate wrong
+// paths, so the session layer rejects wrongpath.WPEmul for it — the
+// capability check that replaces RunTrace's special-cased rejection.
+type traceSource struct {
+	src queue.Producer
+}
+
+// NewTraceSource wraps a trace producer as a Source.
+func NewTraceSource(src queue.Producer) Source { return traceSource{src: src} }
+
+func (s traceSource) Next() (trace.DynInst, bool) { return s.src.Next() }
+
+func (s traceSource) SupportsWPEmul() bool { return false }
+
+func (s traceSource) Close() {}
+
+func (s traceSource) Collect(res *Result) {
+	// A trace replays exactly the instructions the core consumes; the
+	// recorded stream has no program output or functional error channel.
+	res.FunctionalInsts = res.Core.Instructions
+}

@@ -65,9 +65,19 @@ func TestRoundTripMatchesLiveStream(t *testing.T) {
 	}
 }
 
+// TestTraceSimulationMatchesLive: the trace frontend must be
+// performance-transparent — every technique it supports (everything but
+// wpemul, which the capability check filters out) must project the
+// exact cycles, instruction count, IPC and wrong-path activity of the
+// live functional frontend.
 func TestTraceSimulationMatchesLive(t *testing.T) {
 	buf := recordBFS(t)
-	for _, k := range []wrongpath.Kind{wrongpath.NoWP, wrongpath.InstRec, wrongpath.Conv, wrongpath.ConvResolve} {
+	tested := 0
+	for _, k := range wrongpath.Kinds() {
+		if k == wrongpath.WPEmul { // not replayable: see TestTraceRejectsWPEmul
+			continue
+		}
+		tested++
 		live, err := sim.Run(sim.Default(k), gap.BFS(gap.TestParams()).MustBuild())
 		if err != nil {
 			t.Fatal(err)
@@ -84,9 +94,15 @@ func TestTraceSimulationMatchesLive(t *testing.T) {
 			t.Errorf("%v: trace replay (%d cycles) != live (%d cycles)",
 				k, replay.Core.Cycles, live.Core.Cycles)
 		}
+		if live.IPC() != replay.IPC() {
+			t.Errorf("%v: trace replay IPC %.6f != live IPC %.6f", k, replay.IPC(), live.IPC())
+		}
 		if live.Core.WPFetched != replay.Core.WPFetched {
 			t.Errorf("%v: wrong-path divergence: %d vs %d", k, replay.Core.WPFetched, live.Core.WPFetched)
 		}
+	}
+	if want := len(wrongpath.Kinds()) - 1; tested != want {
+		t.Fatalf("covered %d kinds, want %d", tested, want)
 	}
 }
 

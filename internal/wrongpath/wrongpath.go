@@ -43,6 +43,34 @@ const (
 	WPEmul
 )
 
+// kinds is the canonical ordering of every technique, cheapest first
+// and the wpemul reference last. The //wplint:exhaustive directive
+// makes the exhaustive analyzer verify the list names every declared
+// Kind, so a newly added policy cannot be left out of Kinds() (and
+// thereby out of RunAll, the experiment drivers and the CLI help).
+var kinds = [...]Kind{ //wplint:exhaustive
+	NoWP, InstRec, Conv, ConvResolve, WPEmul,
+}
+
+// Kinds returns all techniques in canonical report order: NoWP first,
+// then the reconstruction-based techniques, WPEmul (the reference)
+// last. The slice is a fresh copy; callers may filter or reorder it.
+func Kinds() []Kind {
+	out := make([]Kind, len(kinds))
+	copy(out, kinds[:])
+	return out
+}
+
+// Names returns the parseable short name of every technique, in
+// Kinds() order (for CLI flag help and -wp parsing errors).
+func Names() []string {
+	out := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		out = append(out, k.String())
+	}
+	return out
+}
+
 // String returns the paper's short name for the policy.
 func (k Kind) String() string {
 	switch k {
