@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: build test vet lint race check bench bench-smoke
+.PHONY: build test vet lint race faults check bench bench-smoke
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
 vet:
 	$(GO) vet ./...
@@ -16,10 +16,19 @@ lint:
 	$(GO) run ./cmd/wplint ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 15m ./...
+
+# faults runs the fault-injection suites (deterministic injected
+# panics, frozen producers, corrupt traces) under the race detector —
+# the acceptance gate for the fault-tolerance layer (see DESIGN.md,
+# "Failure model and degradation ladder").
+faults:
+	$(GO) test -race -timeout 10m -run 'Fault|Panic|Ladder|Watchdog|Corrupt|Truncat|Sweep' \
+		./internal/faultinject/ ./internal/simerr/ ./internal/tracefile/ \
+		./internal/frontend/ ./internal/batch/ ./internal/sim/ ./internal/experiments/
 
 # check is the full CI gate.
-check: build vet lint race
+check: build vet lint race faults
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

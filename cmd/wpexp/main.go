@@ -37,6 +37,9 @@ func main() {
 		verbose  = flag.Bool("v", false, "print one line per simulation run")
 		jobs     = flag.Int("jobs", 1, "batch worker count for independent simulations (0 = one per host core)")
 		benchOut = flag.String("bench-out", "", "write a JSON timing record for the run to this file")
+		watchdog = flag.Duration("watchdog", 0, "stall-watchdog budget per simulation (0 = disabled); stalled cells abort with a typed error")
+		degrade  = flag.Bool("degrade", false, "on a recoverable fault, retry a cell one technique rung down instead of failing the sweep (degraded cells are annotated)")
+		retries  = flag.Int("max-retries", 2, "ladder descents allowed per cell (with -degrade)")
 	)
 	flag.Parse()
 
@@ -65,6 +68,10 @@ func main() {
 		opt.Progress = os.Stderr
 	}
 	opt.Jobs = *jobs
+	opt.Watchdog = *watchdog
+	if *degrade {
+		opt.MaxRetries = *retries
+	}
 
 	r := experiments.NewRunner(opt)
 	start := time.Now()

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -42,6 +43,9 @@ func main() {
 		memLat   = flag.Int("mem-latency", 0, "memory latency override (cycles)")
 		showCfg  = flag.Bool("config", false, "print the core configuration and exit")
 		list     = flag.Bool("list", false, "list available benchmarks and exit")
+		watchdog = flag.Duration("watchdog", 0, "stall-watchdog budget (0 = disabled); aborts with a typed error if the run stops advancing")
+		degrade  = flag.Bool("degrade", false, "on a recoverable fault, retry one technique rung down instead of failing")
+		retries  = flag.Int("max-retries", 2, "ladder descents allowed (with -degrade)")
 	)
 	flag.Parse()
 
@@ -71,8 +75,9 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	fault := faultOptions(*watchdog, *degrade, *retries)
 	if *wp == "all" {
-		compareAll(cfg, w, *suite, *bench, *maxInsts, *warmup, *parallel, *jobs)
+		compareAll(cfg, w, *suite, *bench, *maxInsts, *warmup, *parallel, *jobs, fault)
 		return
 	}
 
@@ -89,19 +94,56 @@ func main() {
 	if budget == 0 {
 		budget = inst.SuggestedMaxInsts
 	}
-	res, err := sim.Run(sim.Config{Core: cfg, WP: kind, MaxInsts: budget, WarmupInsts: *warmup, ParallelFrontend: *parallel}, inst)
+	simCfg := sim.Config{Core: cfg, WP: kind, MaxInsts: budget, WarmupInsts: *warmup,
+		ParallelFrontend: *parallel, Watchdog: fault.Watchdog, Degrade: fault.Degrade}
+	var res *sim.Result
+	if simCfg.Degrade.Enabled() {
+		// Ladder path: the first attempt consumes the prebuilt instance,
+		// retries rebuild a fresh one.
+		first := inst
+		res, err = sim.RunLadder(simCfg, func(c sim.Config) (sim.Source, error) {
+			if first != nil {
+				i := first
+				first = nil
+				return sim.NewFunctionalSource(c, i), nil
+			}
+			retry, err := w.Build()
+			if err != nil {
+				return nil, err
+			}
+			return sim.NewFunctionalSource(c, retry), nil
+		})
+	} else {
+		res, err = sim.Run(simCfg, inst)
+	}
 	if err != nil {
 		fatalf("simulating: %v", err)
 	}
 	printResult(*suite, *bench, kind, res)
 }
 
+// faultConfig bundles the fault-tolerance flags for threading into
+// sim.Config.
+type faultConfig struct {
+	Watchdog time.Duration
+	Degrade  sim.DegradePolicy
+}
+
+func faultOptions(watchdog time.Duration, degrade bool, retries int) faultConfig {
+	fc := faultConfig{Watchdog: watchdog}
+	if degrade {
+		fc.Degrade = sim.DegradePolicy{MaxRetries: retries}
+	}
+	return fc
+}
+
 // compareAll runs the workload under every technique (in
 // wrongpath.Kinds() order) on the batch engine and prints a one-line
 // comparison per kind, with wpemul as the error reference.
-func compareAll(cfg core.Config, w workloads.Workload, suite, bench string, maxInsts, warmup uint64, parallel bool, jobs int) {
+func compareAll(cfg core.Config, w workloads.Workload, suite, bench string, maxInsts, warmup uint64, parallel bool, jobs int, fault faultConfig) {
 	kinds := wrongpath.Kinds()
-	simCfg := sim.Config{Core: cfg, MaxInsts: maxInsts, WarmupInsts: warmup, ParallelFrontend: parallel}
+	simCfg := sim.Config{Core: cfg, MaxInsts: maxInsts, WarmupInsts: warmup, ParallelFrontend: parallel,
+		Watchdog: fault.Watchdog, Degrade: fault.Degrade}
 	results, err := sim.RunKinds(simCfg, w, kinds, jobs)
 	if err != nil {
 		fatalf("%v", err)
@@ -121,15 +163,19 @@ func compareAll(cfg core.Config, w workloads.Workload, suite, bench string, maxI
 		if k != wrongpath.WPEmul && ref != nil {
 			errCol = fmt.Sprintf("%+.1f%%", 100*sim.Error(res, ref))
 		}
-		fmt.Printf("%-10s %12d %12d %8.4f %10s %12d %12v\n",
+		note := ""
+		if res.Degraded {
+			note = fmt.Sprintf("  DEGRADED(ran as %v)", res.WP)
+		}
+		fmt.Printf("%-10s %12d %12d %8.4f %10s %12d %12v%s\n",
 			k, res.Core.Instructions, res.Core.Cycles, res.IPC(),
-			errCol, res.Core.WPExecuted, res.Wall.Round(1_000_000))
+			errCol, res.Core.WPExecuted, res.Wall.Round(1_000_000), note)
 	}
 	if jobs != 1 {
 		fmt.Printf("\n(wall clocks from concurrent runs; use -jobs 1 for calibrated timing)\n")
 	}
 	for i, k := range kinds {
-		if results[i].Err != nil {
+		if results[i].Err != nil && !results[i].Degraded {
 			fatalf("%v run ended early: %v", k, results[i].Err)
 		}
 	}
@@ -183,6 +229,9 @@ func findWorkload(suite, bench string, n, degree int, kron, grid bool, seed uint
 func printResult(suite, bench string, kind wrongpath.Kind, res *sim.Result) {
 	fmt.Printf("workload            %s/%s\n", suite, bench)
 	fmt.Printf("technique           %s\n", kind)
+	if res.Degraded {
+		fmt.Printf("DEGRADED            ran as %v (requested %v): %v\n", res.WP, res.RequestedWP, res.DegradeFault)
+	}
 	fmt.Printf("instructions        %d\n", res.Core.Instructions)
 	fmt.Printf("cycles              %d\n", res.Core.Cycles)
 	fmt.Printf("IPC                 %.4f\n", res.IPC())
@@ -212,7 +261,9 @@ func printResult(suite, bench string, kind wrongpath.Kind, res *sim.Result) {
 	}
 	if res.Err != nil {
 		fmt.Printf("functional error    %v\n", res.Err)
-		os.Exit(1)
+		if !res.Degraded {
+			os.Exit(1)
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/frontend"
@@ -39,6 +40,9 @@ func main() {
 		wp       = flag.String("wp", "conv", "wrong-path technique (replay mode): "+strings.Join(wrongpath.Names(), ", ")+", or all; wpemul unsupported")
 		jobs     = flag.Int("jobs", 1, "-wp all worker count (0 = one per host core)")
 		maxInsts = flag.Uint64("max-insts", 0, "instruction cap (0 = workload default)")
+		watchdog = flag.Duration("watchdog", 0, "stall-watchdog budget for replay (0 = disabled)")
+		degrade  = flag.Bool("degrade", false, "replay mode: degrade one technique rung down on a recoverable fault; keep the valid prefix of a corrupt trace")
+		retries  = flag.Int("max-retries", 2, "ladder descents allowed (with -degrade)")
 	)
 	flag.Parse()
 
@@ -83,32 +87,53 @@ func main() {
 
 	case *replay != "":
 		if *wp == "all" {
-			replayAll(*replay, *maxInsts, *jobs)
+			replayAll(*replay, *maxInsts, *jobs, *watchdog)
 			return
 		}
 		kind, ok := wrongpath.ParseKind(*wp)
 		if !ok {
 			fatal(fmt.Errorf("unknown technique %q (have %s, all)", *wp, strings.Join(wrongpath.Names(), ", ")))
 		}
-		f, err := os.Open(*replay)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		r, err := tracefile.NewReader(f)
+		data, err := os.ReadFile(*replay)
 		if err != nil {
 			fatal(err)
 		}
 		cfg := sim.Default(kind)
 		cfg.MaxInsts = *maxInsts
-		res, err := sim.RunTrace(cfg, r)
-		if err != nil {
-			fatal(err)
-		}
-		if r.Err() != nil {
-			fatal(r.Err())
+		cfg.Watchdog = *watchdog
+		var res *sim.Result
+		if *degrade {
+			// Ladder replay: every attempt replays a fresh reader over the
+			// same bytes; a corrupt tail keeps the valid prefix, and an
+			// unsupported technique (wpemul on a trace) runs a rung down.
+			cfg.Degrade = sim.DegradePolicy{MaxRetries: *retries}
+			res, err = sim.RunLadder(cfg, func(c sim.Config) (sim.Source, error) {
+				r, err := tracefile.NewReader(bytes.NewReader(data))
+				if err != nil {
+					return nil, err
+				}
+				return sim.NewTraceSource(r), nil
+			})
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			r, err := tracefile.NewReader(bytes.NewReader(data))
+			if err != nil {
+				fatal(err)
+			}
+			res, err = sim.RunTrace(cfg, r)
+			if err != nil {
+				fatal(err)
+			}
+			if r.Err() != nil {
+				fatal(r.Err())
+			}
 		}
 		fmt.Printf("technique      %s\n", kind)
+		if res.Degraded {
+			fmt.Printf("DEGRADED       ran as %v (requested %v): %v\n", res.WP, res.RequestedWP, res.DegradeFault)
+		}
 		fmt.Printf("instructions   %d\n", res.Core.Instructions)
 		fmt.Printf("cycles         %d\n", res.Core.Cycles)
 		fmt.Printf("IPC            %.4f\n", res.IPC())
@@ -127,7 +152,7 @@ func main() {
 // bytes, fanned out on the batch engine. Supported kinds are selected
 // by the Source capability check, not a hard-coded list: a trace source
 // cannot emulate wrong paths (paper §III-B), so wpemul is skipped.
-func replayAll(path string, maxInsts uint64, jobs int) {
+func replayAll(path string, maxInsts uint64, jobs int, watchdog time.Duration) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -149,6 +174,7 @@ func replayAll(path string, maxInsts uint64, jobs int) {
 			}
 			cfg := sim.Default(k)
 			cfg.MaxInsts = maxInsts
+			cfg.Watchdog = watchdog
 			res, err := sim.RunTrace(cfg, r)
 			if err != nil {
 				return nil, err

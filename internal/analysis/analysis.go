@@ -11,7 +11,10 @@
 //   - checkpoint: functional checkpoints must be restored on every
 //     return path;
 //   - statpath: wrong-path-split statistic counters may only be
-//     incremented by their approved accessor functions.
+//     incremented by their approved accessor functions;
+//   - panicfree: the fault-contained packages (sim, core, queue,
+//     frontend, batch) must surface faults as typed simerr values, not
+//     bare panics (escape hatch: same-line //wplint:allow-panic).
 //
 // The driver CLI is cmd/wplint. Analyzers report file:line:col
 // diagnostics; a finding can be suppressed only with an explicit
@@ -112,7 +115,7 @@ func allowDirectives(pkg *Package) map[string]map[int]map[string]bool {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Exhaustive, Checkpoint, StatPath}
+	return []*Analyzer{Determinism, Exhaustive, Checkpoint, StatPath, PanicFree}
 }
 
 // Run applies the analyzers to every package and returns the combined

@@ -136,6 +136,12 @@ func TestStatPathFixture(t *testing.T) {
 	checkWantMarkers(t, "statpath", got)
 }
 
+func TestPanicFreeFixture(t *testing.T) {
+	got := runFixture(t, PanicFree, "panicfree")
+	checkGolden(t, "panicfree", got)
+	checkWantMarkers(t, "panicfree", got)
+}
+
 // TestRepoClean is the acceptance gate: the whole module must pass
 // every analyzer. A regression here means a simulator invariant was
 // violated by a source change.

@@ -1,0 +1,44 @@
+// Package panicfree is the fixture for the panicfree analyzer: bare
+// panics in a fault-contained package are findings; same-line
+// //wplint:allow-panic (or the generic allow form) suppresses them.
+package panicfree
+
+import "errors"
+
+var errBad = errors.New("bad input")
+
+// Plain returns a typed error — the approved idiom.
+func Plain(n int) error {
+	if n < 0 {
+		return errBad
+	}
+	return nil
+}
+
+// Bare panics without a directive.
+func Bare(n int) {
+	if n < 0 {
+		panic("negative") // want: bare panic in a fault-contained package
+	}
+}
+
+// Formatted panics with a non-literal argument.
+func Formatted(err error) {
+	panic(err) // want: bare panic in a fault-contained package
+}
+
+// Allowed carries the dedicated escape hatch.
+func Allowed() {
+	panic("unreachable: checked by construction") //wplint:allow-panic -- deliberate can't-happen invariant
+}
+
+// AllowedGeneric uses the generic wplint allow form.
+func AllowedGeneric() {
+	panic("unreachable") //wplint:allow panicfree -- deliberate can't-happen invariant
+}
+
+// shadowed is a local function named panic-free; calling it is fine.
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

@@ -13,9 +13,13 @@
 package batch
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/simerr"
 )
 
 // Result pairs one job's value with its error, at the job's index.
@@ -34,6 +38,12 @@ func DefaultWorkers() int { return runtime.NumCPU() }
 // job serially on the calling goroutine (the escape hatch for
 // wall-clock measurements); workers > len(jobs) is clamped. A nil job
 // produces a zero Result.
+//
+// Fault containment: a panic inside a job is recovered — in the worker
+// and in serial mode alike — and lands in that job's Result.Err as a
+// typed simerr.ErrWorkerPanic fault with the captured stack. The other
+// jobs run to completion and result order is preserved, so one
+// crashing cell never takes down a sweep.
 func Run[T any](jobs []func() (T, error), workers int) []Result[T] {
 	out := make([]Result[T], len(jobs))
 	if workers <= 0 {
@@ -43,6 +53,11 @@ func Run[T any](jobs []func() (T, error), workers int) []Result[T] {
 		workers = len(jobs)
 	}
 	run := func(i int) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				out[i].Err = simerr.WorkerPanic(fmt.Sprintf("batch job %d", i), rec, debug.Stack())
+			}
+		}()
 		if jobs[i] != nil {
 			out[i].Value, out[i].Err = jobs[i]()
 		}

@@ -18,6 +18,11 @@ func (r *Runner) runWith(w workloads.Workload, cfg sim.Config) (*sim.Result, err
 	if cfg.MaxInsts == 0 {
 		cfg.MaxInsts = inst.SuggestedMaxInsts
 	}
+	if cfg.Watchdog == 0 {
+		// Custom-config runs inherit the runner's stall budget; an idle
+		// watchdog leaves their statistics bit-identical.
+		cfg.Watchdog = r.opt.Watchdog
+	}
 	return sim.Run(cfg, inst)
 }
 

@@ -22,6 +22,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/core"
@@ -74,6 +75,22 @@ type Options struct {
 	// why the speed and parallel experiments always run their
 	// simulations serially regardless of Jobs.
 	Jobs int
+	// Watchdog arms the per-run stall watchdog with this progress
+	// budget (see sim.Config.Watchdog). 0 disables.
+	Watchdog time.Duration
+	// MaxRetries arms the graceful-degradation ladder: a run that hits
+	// a recoverable fault (unsupported capability, stall, recovered
+	// panic) is retried up to this many technique rungs down
+	// (wpemul→conv→instrec→nowp) and the report annotates the degraded
+	// cell. 0 disables; faults then fail the cell with a typed error.
+	MaxRetries int
+	// WrapSource, when non-nil, wraps every standard-sweep source before
+	// the run — the deterministic fault-injection hook (see
+	// internal/faultinject). It receives the workload and the technique
+	// of the current attempt, so an injector can target one cell and
+	// stay silent on its degraded retries. Fault-free cells are
+	// byte-identical whether or not a hook is installed.
+	WrapSource func(src sim.Source, w workloads.Workload, k wrongpath.Kind) sim.Source
 }
 
 func (o *Options) fill() {
@@ -92,6 +109,11 @@ func (o *Options) fill() {
 type Runner struct {
 	opt   Options
 	cache map[string]*sim.Result
+	// degraded accumulates one annotation line per degraded cell, in
+	// record order; Run appends the ones produced during an experiment
+	// as a footnote. Empty for fault-free sweeps, keeping their report
+	// bytes identical to a runner without the fault-tolerance layer.
+	degraded []string
 }
 
 // NewRunner creates a Runner.
@@ -117,32 +139,87 @@ func cacheKey(w workloads.Workload, k wrongpath.Kind) string {
 	return w.Suite + "/" + w.Name + "/" + k.String()
 }
 
+// faultLayer reports whether any part of the fault-tolerance layer is
+// armed; when it is not, simulate takes the exact pre-existing path, so
+// reports stay byte-identical to a runner without the layer.
+func (r *Runner) faultLayer() bool {
+	return r.opt.Watchdog > 0 || r.opt.MaxRetries > 0 || r.opt.WrapSource != nil
+}
+
 // simulate runs one workload under one technique with the runner's
 // core configuration. It is pure (no cache or progress access), so the
 // batch engine may call it from any worker goroutine.
+//
+// With the fault-tolerance layer armed it runs through the degradation
+// ladder: the first attempt consumes the prebuilt instance, retries
+// build fresh ones, and the configured WrapSource hook may inject
+// faults per (workload, technique) attempt.
 func (r *Runner) simulate(w workloads.Workload, k wrongpath.Kind) (*sim.Result, error) {
 	inst, err := w.Build()
 	if err != nil {
 		return nil, err
 	}
-	cfg := sim.Config{Core: r.opt.Core, WP: k, MaxInsts: inst.SuggestedMaxInsts}
-	res, err := sim.Run(cfg, inst)
-	if err != nil {
-		return nil, err
+	cfg := sim.Config{Core: r.opt.Core, WP: k, MaxInsts: inst.SuggestedMaxInsts,
+		Watchdog: r.opt.Watchdog,
+		Degrade:  sim.DegradePolicy{MaxRetries: r.opt.MaxRetries}}
+	var res *sim.Result
+	if r.faultLayer() {
+		first := inst
+		res, err = sim.RunLadder(cfg, func(c sim.Config) (sim.Source, error) {
+			attempt := first
+			first = nil
+			if attempt == nil {
+				var berr error
+				if attempt, berr = w.Build(); berr != nil {
+					return nil, berr
+				}
+			}
+			src := sim.NewFunctionalSource(c, attempt)
+			if r.opt.WrapSource != nil {
+				src = r.opt.WrapSource(src, w, c.WP)
+			}
+			return src, nil
+		})
+	} else {
+		res, err = sim.Run(cfg, inst)
 	}
-	if res.Err != nil {
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", cacheKey(w, k), err)
+	}
+	if res.Err != nil && !res.Degraded {
 		return nil, fmt.Errorf("%s under %v: functional error: %w", cacheKey(w, k), k, res.Err)
 	}
 	return res, nil
 }
 
-// record memoizes one finished run and emits its progress line.
+// record memoizes one finished run, emits its progress line, and notes
+// a degraded cell for the experiment footnote.
 func (r *Runner) record(key string, res *sim.Result) {
 	if r.opt.Progress != nil {
-		fmt.Fprintf(r.opt.Progress, "ran %-28s insts=%-9d cycles=%-10d IPC=%.3f wall=%v\n",
-			key, res.Core.Instructions, res.Core.Cycles, res.IPC(), res.Wall.Round(1_000_000))
+		mark := ""
+		if res.Degraded {
+			mark = fmt.Sprintf("  DEGRADED(%v)", res.WP)
+		}
+		fmt.Fprintf(r.opt.Progress, "ran %-28s insts=%-9d cycles=%-10d IPC=%.3f wall=%v%s\n",
+			key, res.Core.Instructions, res.Core.Cycles, res.IPC(), res.Wall.Round(1_000_000), mark)
+	}
+	if res.Degraded {
+		note := fmt.Sprintf("%s: ran as %v (requested %v)", key, res.WP, res.RequestedWP)
+		if res.DegradeFault != nil {
+			note += ": " + firstLine(res.DegradeFault.Error())
+		}
+		r.degraded = append(r.degraded, note)
 	}
 	r.cache[key] = res
+}
+
+// firstLine truncates multi-line fault renderings (panic stacks) for
+// the one-line report footnote.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // prefetch runs every uncached (workload, technique) pair through the
@@ -522,13 +599,23 @@ var registry = map[string]func(*Runner) error{
 	"parallel": (*Runner).Parallel,
 }
 
-// Run executes one named experiment.
+// Run executes one named experiment. Cells the degradation ladder ran
+// below their requested technique during this experiment are listed in
+// a footnote; a fault-free experiment prints no footnote, keeping its
+// bytes identical to a run without the fault-tolerance layer.
 func (r *Runner) Run(name string) error {
 	fn, ok := registry[name]
 	if !ok {
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
+	mark := len(r.degraded)
 	err := fn(r)
+	if len(r.degraded) > mark {
+		r.printf("\nDEGRADED CELLS (fault-tolerance ladder, see DESIGN.md):\n")
+		for _, note := range r.degraded[mark:] {
+			r.printf("  %s\n", note)
+		}
+	}
 	r.printf("\n")
 	return err
 }

@@ -1,8 +1,10 @@
 package frontend
 
 import (
+	"runtime/debug"
 	"sync"
 
+	"repro/internal/simerr"
 	"repro/internal/trace"
 )
 
@@ -17,10 +19,22 @@ import (
 // The produced instruction sequence — and therefore every simulation
 // statistic — is bit-identical to the synchronous mode; only host
 // wall-clock time changes.
+//
+// Fault containment: a panic inside the wrapped producer is recovered
+// in the goroutine, surfaced as a typed simerr.ErrWorkerPanic fault via
+// Err, and the stream ends cleanly — the consumer's process never
+// crashes. Interrupt unblocks both sides without waiting for the
+// producer (the stall watchdog's abort path); Close is idempotent and
+// safe after a producer panic.
 type Parallel struct {
-	ch   chan []trace.DynInst
-	stop chan struct{}
-	wg   sync.WaitGroup
+	src      interface{ Next() (trace.DynInst, bool) }
+	ch       chan []trace.DynInst
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
 
 	cur []trace.DynInst
 	idx int
@@ -50,13 +64,23 @@ func NewParallel(src interface {
 		depth = DefaultDepth
 	}
 	p := &Parallel{
+		src:  src,
 		ch:   make(chan []trace.DynInst, depth),
 		stop: make(chan struct{}),
 	}
 	p.wg.Add(1)
 	go func() {
+		// Deferred in reverse order: the recover runs first (capturing a
+		// producer panic and recording the fault), then the channel close
+		// publishes end-of-stream — the close happens-after the fault is
+		// stored, so a consumer that saw EOF reads a settled Err.
 		defer p.wg.Done()
 		defer close(p.ch)
+		defer func() {
+			if rec := recover(); rec != nil {
+				p.setErr(simerr.WorkerPanic("parallel frontend producer", rec, debug.Stack()))
+			}
+		}()
 		buf := make([]trace.DynInst, 0, batch)
 		for {
 			di, ok := src.Next()
@@ -79,33 +103,74 @@ func NewParallel(src interface {
 	return p
 }
 
-// Next implements queue.Producer from the consumer side.
+func (p *Parallel) setErr(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// Err reports a fault that ended the stream early — currently only a
+// recovered producer panic (errors.Is(err, simerr.ErrWorkerPanic)).
+// It is meaningful once Next has reported end-of-stream or Close has
+// returned.
+func (p *Parallel) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Next implements queue.Producer from the consumer side. It also
+// returns end-of-stream when Interrupt has fired, so a consumer never
+// stays blocked on a producer that has stopped making progress.
 func (p *Parallel) Next() (trace.DynInst, bool) {
 	for p.idx >= len(p.cur) {
 		if p.eof {
 			return trace.DynInst{}, false
 		}
-		batch, ok := <-p.ch
-		if !ok {
+		select {
+		case batch, ok := <-p.ch:
+			if !ok {
+				p.eof = true
+				return trace.DynInst{}, false
+			}
+			p.cur, p.idx = batch, 0
+		case <-p.stop:
 			p.eof = true
 			return trace.DynInst{}, false
 		}
-		p.cur, p.idx = batch, 0
 	}
 	di := p.cur[p.idx]
 	p.idx++
 	return di, true
 }
 
-// Close stops the producer goroutine and waits for it to exit. It is
-// safe to call after the producer has already finished.
-func (p *Parallel) Close() {
-	select {
-	case <-p.stop:
-	default:
-		close(p.stop)
+// Interrupt asks both sides of the channel to stop: the producer's next
+// send aborts, a consumer blocked in Next unblocks with end-of-stream,
+// and a wrapped producer that itself supports Interrupt (a blocked
+// source) is released. It is idempotent, safe from any goroutine, and
+// does not wait — the stall watchdog calls it from outside the
+// simulation goroutine.
+func (p *Parallel) Interrupt() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	if i, ok := p.src.(interface{ Interrupt() }); ok {
+		i.Interrupt()
 	}
-	// Drain so a producer blocked on send can observe stop/finish.
+}
+
+// Close stops the producer goroutine and waits for it to exit. It is
+// idempotent and safe to call after the producer has already finished
+// or panicked (the recovered panic is reported by Err, and the drain
+// below cannot hang because the producer's goroutine has exited).
+// A producer goroutine blocked *inside* an uninterruptible src.Next
+// would make the wg.Wait below hang; blocked sources must implement
+// Interrupt (faultinject.Freezer does) to be releasable.
+func (p *Parallel) Close() {
+	p.Interrupt()
+	// Drain so a producer blocked on send can observe stop/finish. After
+	// the goroutine exits the channel is closed, so ranging terminates —
+	// including on a second Close.
 	for range p.ch {
 	}
 	p.wg.Wait()

@@ -288,6 +288,11 @@ var opClass = [opMax]Class{
 	OpNop:   ClassNop,
 }
 
+// Valid reports whether op is a real opcode (neither the OpInvalid
+// sentinel nor out of range) — the decode-sanity check trace readers
+// use to distinguish corruption from a legal stream.
+func (op Op) Valid() bool { return op > OpInvalid && op < opMax }
+
 // Class returns the pipeline class of the opcode.
 func (op Op) Class() Class {
 	if op < opMax {

@@ -11,7 +11,11 @@
 // instructions remain (the paper's "skip the convergence check" case).
 package queue
 
-import "repro/internal/trace"
+import (
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
 
 // Producer supplies dynamic instructions; ok is false at program end.
 type Producer interface {
@@ -31,7 +35,10 @@ type Queue struct {
 	// lookahead is the fill target maintained before every Pop.
 	lookahead int
 
-	popped uint64
+	// popped is atomic so the stall watchdog can sample consumer
+	// progress from its own goroutine; the queue itself remains
+	// single-consumer.
+	popped atomic.Uint64
 }
 
 // New creates a queue that keeps at least lookahead instructions
@@ -73,7 +80,7 @@ func (q *Queue) Pop() (trace.DynInst, bool) {
 	q.buf[q.head] = trace.DynInst{} // release any attached WP stream
 	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.n--
-	q.popped++
+	q.popped.Add(1)
 	return di, true
 }
 
@@ -96,8 +103,9 @@ func (q *Queue) Peek(i int) (trace.DynInst, bool) {
 // Len returns the number of currently buffered instructions.
 func (q *Queue) Len() int { return q.n }
 
-// Popped returns the number of instructions consumed so far.
-func (q *Queue) Popped() uint64 { return q.popped }
+// Popped returns the number of instructions consumed so far. It is
+// safe to call concurrently with Pop (the watchdog samples it).
+func (q *Queue) Popped() uint64 { return q.popped.Load() }
 
 // Lookahead returns the guaranteed fill target.
 func (q *Queue) Lookahead() int { return q.lookahead }

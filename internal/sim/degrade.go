@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"errors"
+	"runtime/debug"
+
+	"repro/internal/simerr"
+	"repro/internal/wrongpath"
+)
+
+// DegradePolicy configures the graceful-degradation ladder: on a
+// recoverable fault, a job is re-run one technique rung down
+// (wpemul→conv→instrec→nowp, see wrongpath.Downgrade) instead of
+// failing the whole sweep. The zero value disables the ladder.
+type DegradePolicy struct {
+	// MaxRetries bounds the ladder descents per job; each retry costs
+	// one full re-simulation. 0 disables degradation entirely.
+	MaxRetries int
+}
+
+// Enabled reports whether the ladder is armed.
+func (p DegradePolicy) Enabled() bool { return p.MaxRetries > 0 }
+
+// Recoverable reports whether a fault class is survivable one rung down
+// the ladder: a capability the lower technique does not need
+// (ErrUnsupported), a wedged run-ahead the lower technique does not
+// exercise (ErrStall), or a contained crash worth one more attempt
+// (ErrWorkerPanic). Trace corruption is NOT recoverable by re-running —
+// the same bytes fail again — and is handled by keeping the valid
+// prefix instead (see RunLadder).
+func Recoverable(err error) bool {
+	return errors.Is(err, simerr.ErrUnsupported) ||
+		errors.Is(err, simerr.ErrStall) ||
+		errors.Is(err, simerr.ErrWorkerPanic)
+}
+
+// runFault extracts the typed fault of an attempt: a returned error, or
+// a classified simerr fault the run recorded in Result.Err. A plain
+// functional-simulation error in Result.Err is not a fault — it is the
+// pre-existing "program ended abnormally" channel and passes through
+// untouched.
+func runFault(res *Result, err error) error {
+	if err != nil {
+		return err
+	}
+	if res != nil && res.Err != nil {
+		var f *simerr.Fault
+		if errors.As(res.Err, &f) {
+			return res.Err
+		}
+	}
+	return nil
+}
+
+// closeQuiet closes a source, containing a panic from a close path that
+// the original fault already broke.
+func closeQuiet(src Source) {
+	defer func() { _ = recover() }()
+	src.Close()
+}
+
+// attempt runs one rung: build the source, wire the session, run. A
+// panic anywhere in the attempt — a synchronous producer fault, a
+// policy bug — is recovered into a typed ErrWorkerPanic so the ladder
+// can decide, and the source is torn down.
+func attempt(cfg Config, mk func(Config) (Source, error)) (res *Result, err error) {
+	var src Source
+	defer func() {
+		if rec := recover(); rec != nil {
+			if src != nil {
+				closeQuiet(src)
+			}
+			res, err = nil, simerr.WorkerPanic("simulation run", rec, debug.Stack())
+		}
+	}()
+	src, err = mk(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewSession(cfg, src)
+	if err != nil {
+		closeQuiet(src)
+		return nil, err
+	}
+	return s.Run(), nil
+}
+
+// RunLadder runs cfg's technique with graceful degradation: mk builds a
+// fresh Source for every attempt (instances are consumed by a run), and
+// on a recoverable fault the job is re-run one rung down the ladder, at
+// most cfg.Degrade.MaxRetries times. The final Result records the
+// descent: WP is the rung that ran, RequestedWP the rung asked for,
+// Degraded/DegradeFault the annotation (matching simerr.ErrDegraded and
+// the original fault class).
+//
+// Trace corruption is special-cased: the run's valid prefix is already
+// a complete partial simulation, so the result is kept and annotated
+// rather than re-run against the same broken bytes.
+//
+// Unrecoverable faults, exhausted retries, and a floor with no rung
+// below all return the typed fault — the cell fails loudly, the sweep
+// survives. Fault-free runs return bit-identical results to Run.
+func RunLadder(cfg Config, mk func(Config) (Source, error)) (*Result, error) {
+	requested := cfg.WP
+	res, err := attempt(cfg, mk)
+	fault := runFault(res, err)
+	if fault == nil {
+		return res, err
+	}
+	for retries := 0; ; retries++ {
+		if errors.Is(fault, simerr.ErrTraceCorrupt) && res != nil {
+			res.RequestedWP = requested
+			res.Degraded = true
+			res.DegradeFault = simerr.Degraded(requested.String(), cfg.WP.String()+" (partial prefix)", fault)
+			return res, nil
+		}
+		if retries >= cfg.Degrade.MaxRetries || !Recoverable(fault) {
+			return nil, fault
+		}
+		down, ok := wrongpath.Downgrade(cfg.WP)
+		if !ok {
+			return nil, fault
+		}
+		cfg.WP = down
+		res, err = attempt(cfg, mk)
+		if next := runFault(res, err); next != nil {
+			fault = next
+			continue
+		}
+		res.RequestedWP = requested
+		res.Degraded = true
+		res.DegradeFault = simerr.Degraded(requested.String(), down.String(), fault)
+		return res, nil
+	}
+}

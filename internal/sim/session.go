@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/queue"
+	"repro/internal/simerr"
 	"repro/internal/wrongpath"
 )
 
@@ -15,6 +16,7 @@ import (
 type Session struct {
 	cfg    Config
 	src    Source
+	tap    *progressTap // non-nil iff cfg.Watchdog > 0
 	queue  *queue.Queue
 	policy wrongpath.Policy
 	core   *core.Core
@@ -22,41 +24,67 @@ type Session struct {
 
 // NewSession validates the configuration against the source's
 // capabilities and builds queue → policy → core. On error nothing is
-// retained; the caller still owns (and must Close) the source.
+// retained; the caller still owns (and must Close) the source. A
+// capability mismatch is a typed simerr.ErrUnsupported fault — the
+// recoverable class the degradation ladder retries a rung down.
 func NewSession(cfg Config, src Source) (*Session, error) {
 	if err := cfg.Core.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.WP == wrongpath.WPEmul && !src.SupportsWPEmul() {
-		return nil, fmt.Errorf("sim: wrong-path emulation requires a live functional frontend, not a trace (paper §III-B)")
+		return nil, simerr.Unsupported("configuring session",
+			fmt.Errorf("sim: wrong-path emulation requires a live functional frontend, not a trace (paper §III-B)"))
 	}
-	q := queue.New(src, cfg.lookahead())
-	var policy wrongpath.Policy
+	s := &Session{cfg: cfg, src: src}
+	var producer queue.Producer = src
+	if cfg.Watchdog > 0 {
+		// Interpose the progress tap so the watchdog goroutine can
+		// sample production without touching the (single-consumer) queue
+		// internals.
+		s.tap = &progressTap{src: src}
+		producer = s.tap
+	}
+	s.queue = queue.New(producer, cfg.lookahead())
 	if cfg.PolicyFactory != nil {
-		policy = cfg.PolicyFactory()
+		s.policy = cfg.PolicyFactory()
 	} else {
-		policy = wrongpath.New(cfg.WP)
+		s.policy = wrongpath.New(cfg.WP)
 	}
-	c, err := core.New(cfg.Core, q, policy)
+	c, err := core.New(cfg.Core, s.queue, s.policy)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{cfg: cfg, src: src, queue: q, policy: policy, core: c}, nil
+	s.core = c
+	return s, nil
 }
 
 // Run executes the warmup and measured simulation, closes the source,
 // and collects the Result. It is single-shot: the session's pipeline
 // state is consumed by the run.
+//
+// With Config.Watchdog set, a stall watchdog samples both sides of the
+// decoupling queue while the run is in flight; if it fires, the source
+// is interrupted, the run unwinds to an early end of stream, and
+// Result.Err carries the typed simerr.ErrStall diagnostic. An idle
+// watchdog leaves the Result bit-identical to an unwatched run.
 func (s *Session) Run() *Result {
 	clk := s.cfg.clock()
+	var wd *watchdog
+	if s.cfg.Watchdog > 0 {
+		wd = startWatchdog(s.cfg.watchdogClock(), s.cfg.Watchdog, s.tap, s.queue, s.src, s.cfg.WP.String())
+	}
 	start := clk.Now()
 	stats := s.core.RunWarmup(s.cfg.WarmupInsts, s.cfg.MaxInsts)
 	wall := clk.Now().Sub(start)
+	if wd != nil {
+		wd.stop()
+	}
 	s.src.Close()
 
 	h := s.core.Hierarchy()
 	res := &Result{
 		WP:               s.cfg.WP,
+		RequestedWP:      s.cfg.WP,
 		Core:             stats,
 		Policy:           *s.policy.Stats(),
 		L1I:              h.L1I().Stats,
@@ -74,5 +102,12 @@ func (s *Session) Run() *Result {
 		res.DTLB = h.DTLB().Stats
 	}
 	s.src.Collect(res)
+	if wd != nil {
+		if ferr := wd.Fault(); ferr != nil {
+			// The stall is the root cause of whatever truncated state
+			// Collect reported; it wins the Err slot.
+			res.Err = ferr
+		}
+	}
 	return res
 }

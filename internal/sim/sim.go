@@ -57,6 +57,18 @@ type Config struct {
 	// nil selects the real wall clock; tests inject a fake so no
 	// simulation output ever depends on host time.
 	Clock Clock
+	// Watchdog arms the stall watchdog with this progress budget: if
+	// neither the decoupling queue's producer nor its consumer advances
+	// within one budget interval, the run aborts with a typed
+	// simerr.ErrStall fault in Result.Err. 0 disables the watchdog.
+	// Timing uses Clock when it implements AfterClock, the wall clock
+	// otherwise; an idle watchdog never influences simulated statistics.
+	Watchdog time.Duration
+	// Degrade arms the graceful-degradation ladder for the ladder-aware
+	// entry points (RunLadder, RunKinds, the experiment runner): on a
+	// recoverable fault a job is re-run one technique rung down instead
+	// of failing the sweep. Zero value = disabled.
+	Degrade DegradePolicy
 }
 
 // clock returns the configured Clock, defaulting to the wall clock.
@@ -110,9 +122,20 @@ type Result struct {
 	// Wall is the host wall-clock time of the run (for the paper's
 	// simulation-speed comparison).
 	Wall time.Duration
-	// Err records a functional-simulation error that ended the run
-	// early, if any.
+	// Err records a fault that ended the run early, if any: a
+	// functional-simulation error, a typed simerr fault from the trace
+	// reader (ErrTraceCorrupt), a recovered producer panic
+	// (ErrWorkerPanic), or a watchdog abort (ErrStall).
 	Err error
+	// RequestedWP is the technique originally requested; it differs
+	// from WP when the degradation ladder re-ran the job a rung down.
+	RequestedWP wrongpath.Kind
+	// Degraded marks a result the ladder produced below the requested
+	// rung, or a partial-prefix result kept from a corrupt trace;
+	// DegradeFault is the typed fault that forced it (matches
+	// simerr.ErrDegraded and the original fault class).
+	Degraded     bool
+	DegradeFault error
 }
 
 // IPC returns the projected instructions per cycle.
@@ -178,7 +201,27 @@ func RunKinds(cfg Config, w workloads.Workload, kinds []wrongpath.Kind, workers 
 			if c.MaxInsts == 0 {
 				c.MaxInsts = inst.SuggestedMaxInsts
 			}
-			r, err := Run(c, inst)
+			var r *Result
+			if c.Degrade.Enabled() {
+				// Ladder path: the first attempt consumes the prebuilt
+				// instance, every retry builds a fresh one (a run
+				// consumes its instance's state).
+				first := inst
+				r, err = RunLadder(c, func(cc Config) (Source, error) {
+					if first != nil {
+						i := first
+						first = nil
+						return NewFunctionalSource(cc, i), nil
+					}
+					retry, err := w.Build()
+					if err != nil {
+						return nil, fmt.Errorf("sim: rebuilding %s/%s: %w", w.Suite, w.Name, err)
+					}
+					return NewFunctionalSource(cc, retry), nil
+				})
+			} else {
+				r, err = Run(c, inst)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("sim: running %s/%s under %v: %w", w.Suite, w.Name, k, err)
 			}

@@ -85,6 +85,17 @@ func (s *functionalSource) Close() {
 	}
 }
 
+// Interrupt implements Interrupter: the stall watchdog's abort path.
+// The parallel frontend unblocks both channel sides; a synchronous
+// producer is forwarded the interrupt if it supports one.
+func (s *functionalSource) Interrupt() {
+	if s.par != nil {
+		s.par.Interrupt()
+		return
+	}
+	interrupt(s.producer)
+}
+
 func (s *functionalSource) Collect(res *Result) {
 	paths, insts := s.fe.WPEmulations()
 	res.FunctionalInsts = s.fe.Produced()
@@ -92,6 +103,13 @@ func (s *functionalSource) Collect(res *Result) {
 	res.WPEmulatedInsts = insts
 	res.Output = s.cpu.Output
 	res.Err = s.fe.Err()
+	if s.par != nil {
+		if perr := s.par.Err(); perr != nil {
+			// A recovered producer panic outranks any functional error:
+			// the functional state is whatever the panic left behind.
+			res.Err = perr
+		}
+	}
 }
 
 // traceSource adapts a pre-recorded instruction stream (typically a
@@ -111,8 +129,39 @@ func (s traceSource) SupportsWPEmul() bool { return false }
 
 func (s traceSource) Close() {}
 
+// Interrupt forwards the watchdog's abort to the trace producer when it
+// supports one (faultinject wrappers do; a plain tracefile.Reader never
+// blocks, so it has no interrupt to forward).
+func (s traceSource) Interrupt() { interrupt(s.src) }
+
 func (s traceSource) Collect(res *Result) {
 	// A trace replays exactly the instructions the core consumes; the
-	// recorded stream has no program output or functional error channel.
+	// recorded stream has no program output. A reader that exposes a
+	// stream error (tracefile.Reader's typed ErrTraceCorrupt) reports it
+	// here, so a corrupt tail surfaces instead of truncating silently.
 	res.FunctionalInsts = res.Core.Instructions
+	if e, ok := s.src.(interface{ Err() error }); ok {
+		res.Err = e.Err()
+	}
+}
+
+// WrapSource replaces the instruction stream of src with wrap(src),
+// keeping src's capabilities and lifecycle — the injection point for
+// fault wrappers (internal/faultinject) and stream filters. Interrupts
+// reach both the wrapper (when it is an Interrupter, e.g. a Freezer)
+// and the underlying source.
+func WrapSource(src Source, wrap func(queue.Producer) queue.Producer) Source {
+	return &wrappedSource{Source: src, producer: wrap(src)}
+}
+
+type wrappedSource struct {
+	Source
+	producer queue.Producer
+}
+
+func (w *wrappedSource) Next() (trace.DynInst, bool) { return w.producer.Next() }
+
+func (w *wrappedSource) Interrupt() {
+	interrupt(w.producer)
+	interrupt(w.Source)
 }

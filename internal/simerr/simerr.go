@@ -1,0 +1,155 @@
+// Package simerr defines the typed fault taxonomy of the fault-tolerant
+// simulation runtime. Every runtime fault the simulator can survive —
+// a corrupted or truncated trace, a stalled producer/consumer pair on
+// the decoupling queue, a panic inside a batch worker or the parallel
+// frontend's producer goroutine, a capability the requested technique
+// needs but the frontend cannot provide — is reported as a *Fault
+// carrying the simulation context at the moment of the fault (workload,
+// technique, PC, instruction counts) and classified by one of the
+// errors.Is-able sentinels below.
+//
+// The classification drives the graceful-degradation ladder in
+// internal/sim: recoverable classes (ErrUnsupported, ErrStall,
+// ErrWorkerPanic) re-run the job one technique rung down
+// (wpemul→conv→instrec→nowp); ErrTraceCorrupt keeps the valid prefix of
+// the run and annotates it; anything else aborts the cell with the
+// typed error so a sweep never silently drops or crashes on a faulted
+// cell.
+package simerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Sentinel fault classes. Match with errors.Is; every *Fault unwraps to
+// exactly one of them (plus its underlying cause).
+var (
+	// ErrTraceCorrupt classifies a trace stream that ended mid-record,
+	// overflowed a varint, or decoded to an impossible instruction —
+	// anything other than a clean end-of-trace.
+	ErrTraceCorrupt = errors.New("trace corrupt or truncated")
+
+	// ErrStall classifies a run the progress watchdog aborted: neither
+	// the decoupling queue's producer nor its consumer advanced within
+	// the configured budget.
+	ErrStall = errors.New("simulation stalled")
+
+	// ErrWorkerPanic classifies a panic recovered inside a batch worker
+	// or the parallel frontend's producer goroutine.
+	ErrWorkerPanic = errors.New("worker panicked")
+
+	// ErrUnsupported classifies a capability mismatch between the
+	// requested technique and the frontend (e.g. wpemul on a trace
+	// interpreter, paper §III-B).
+	ErrUnsupported = errors.New("unsupported capability")
+
+	// ErrDegraded marks a result produced below the requested rung of
+	// the degradation ladder; the Fault's cause is the fault that forced
+	// the descent.
+	ErrDegraded = errors.New("degraded run")
+)
+
+// Fault is a classified simulation fault with diagnostic context. The
+// zero value of every field means "unknown / not applicable"; Error
+// renders only the fields that are set.
+type Fault struct {
+	// Kind is the sentinel class (ErrTraceCorrupt, ErrStall, ...).
+	Kind error
+	// Op names the operation in progress ("decoding trace record",
+	// "batch job 3", "parallel frontend producer").
+	Op string
+	// Workload identifies the simulated workload ("gap/bfs").
+	Workload string
+	// Technique is the wrong-path technique of the faulted run.
+	Technique string
+	// PC is the last program counter the frontend produced.
+	PC uint64
+	// Fetched counts instructions the functional side produced before
+	// the fault (for trace faults: the record index).
+	Fetched uint64
+	// Consumed counts instructions the performance side popped from the
+	// decoupling queue before the fault.
+	Consumed uint64
+	// Stack is the recovered goroutine stack for panic faults.
+	Stack []byte
+	// Err is the underlying cause, if any.
+	Err error
+}
+
+// Error renders the fault class, context and cause.
+func (f *Fault) Error() string {
+	var b strings.Builder
+	b.WriteString("simerr: ")
+	if f.Kind != nil {
+		b.WriteString(f.Kind.Error())
+	} else {
+		b.WriteString("fault")
+	}
+	if f.Op != "" {
+		fmt.Fprintf(&b, ": %s", f.Op)
+	}
+	var ctx []string
+	if f.Workload != "" {
+		ctx = append(ctx, "workload="+f.Workload)
+	}
+	if f.Technique != "" {
+		ctx = append(ctx, "technique="+f.Technique)
+	}
+	if f.PC != 0 {
+		ctx = append(ctx, fmt.Sprintf("pc=%#x", f.PC))
+	}
+	if f.Fetched != 0 {
+		ctx = append(ctx, fmt.Sprintf("fetched=%d", f.Fetched))
+	}
+	if f.Consumed != 0 {
+		ctx = append(ctx, fmt.Sprintf("consumed=%d", f.Consumed))
+	}
+	if len(ctx) > 0 {
+		fmt.Fprintf(&b, " [%s]", strings.Join(ctx, " "))
+	}
+	if f.Err != nil {
+		fmt.Fprintf(&b, ": %v", f.Err)
+	}
+	if len(f.Stack) > 0 {
+		fmt.Fprintf(&b, "\n%s", f.Stack)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the class sentinel and the cause to errors.Is/As.
+func (f *Fault) Unwrap() []error {
+	var out []error
+	if f.Kind != nil {
+		out = append(out, f.Kind)
+	}
+	if f.Err != nil {
+		out = append(out, f.Err)
+	}
+	return out
+}
+
+// Corrupt builds an ErrTraceCorrupt fault for a stream that broke while
+// decoding record (0-based index of the record being read).
+func Corrupt(op string, record uint64, cause error) *Fault {
+	return &Fault{Kind: ErrTraceCorrupt, Op: op, Fetched: record, Err: cause}
+}
+
+// WorkerPanic builds an ErrWorkerPanic fault from a recovered panic
+// value and the captured stack.
+func WorkerPanic(op string, recovered any, stack []byte) *Fault {
+	return &Fault{Kind: ErrWorkerPanic, Op: op, Stack: stack, Err: fmt.Errorf("panic: %v", recovered)}
+}
+
+// Unsupported builds an ErrUnsupported fault.
+func Unsupported(op string, cause error) *Fault {
+	return &Fault{Kind: ErrUnsupported, Op: op, Err: cause}
+}
+
+// Degraded wraps the fault that forced a ladder descent so the result's
+// annotation satisfies both errors.Is(err, ErrDegraded) and
+// errors.Is(err, <original class>).
+func Degraded(from, to string, cause error) *Fault {
+	return &Fault{Kind: ErrDegraded, Op: fmt.Sprintf("%s -> %s", from, to), Err: cause}
+}

@@ -29,6 +29,7 @@ import (
 	"io"
 
 	"repro/internal/isa"
+	"repro/internal/simerr"
 	"repro/internal/trace"
 )
 
@@ -149,24 +150,36 @@ func NewReader(r io.Reader) (*Reader, error) {
 	return &Reader{r: br}, nil
 }
 
+// flagMask covers every flag bit the format defines; set bits above it
+// can only come from corruption.
+const flagMask = flagHasAddr | flagTaken | flagExit | flagNextPC
+
+// validReg accepts architectural registers and the RegNone sentinel.
+func validReg(r isa.Reg) bool { return r.Valid() || r == isa.RegNone }
+
 // Next returns the next record; ok is false at end of trace or on a
-// corrupt stream (check Err).
+// corrupt stream (check Err). Only a stream ending exactly on a record
+// boundary is a clean end: a partial header, a mid-record EOF, a varint
+// overflow, or a decoded field no writer could have produced (unknown
+// opcode, out-of-range register, undefined flag bit) all surface an
+// ErrTraceCorrupt fault via Err.
 func (r *Reader) Next() (trace.DynInst, bool) {
 	if r.done {
 		return trace.DynInst{}, false
 	}
-	var hdr [6]byte
-	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
-		r.done = true
-		if err != io.EOF {
-			r.err = err
-		}
-		return trace.DynInst{}, false
-	}
 	fail := func(err error) (trace.DynInst, bool) {
 		r.done = true
-		r.err = err
+		r.err = simerr.Corrupt("decoding trace record", r.seq, err)
 		return trace.DynInst{}, false
+	}
+	var hdr [6]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			// Clean end of trace: the stream stopped on a record boundary.
+			r.done = true
+			return trace.DynInst{}, false
+		}
+		return fail(err)
 	}
 	flags := hdr[0]
 	di := trace.DynInst{
@@ -178,6 +191,15 @@ func (r *Reader) Next() (trace.DynInst, bool) {
 		HasAddr: flags&flagHasAddr != 0,
 		Taken:   flags&flagTaken != 0,
 		Exit:    flags&flagExit != 0,
+	}
+	if flags&^flagMask != 0 {
+		return fail(fmt.Errorf("undefined flag bits %#02x", flags&^flagMask))
+	}
+	if !di.In.Op.Valid() {
+		return fail(fmt.Errorf("unknown opcode %#02x", hdr[1]))
+	}
+	if !validReg(di.In.Rd) || !validReg(di.In.Rs1) || !validReg(di.In.Rs2) || !validReg(di.In.Rs3) {
+		return fail(fmt.Errorf("out-of-range register in %v", hdr[2:6]))
 	}
 	delta, err := binary.ReadVarint(r.r)
 	if err != nil {
@@ -208,7 +230,10 @@ func (r *Reader) Next() (trace.DynInst, bool) {
 	return di, true
 }
 
-// Err reports a stream corruption that ended replay early.
+// Err reports a stream corruption that ended replay early; it is nil
+// after a clean end of trace. Corruption is typed: errors.Is(err,
+// simerr.ErrTraceCorrupt) holds and the fault records the index of the
+// record that failed to decode.
 func (r *Reader) Err() error { return r.err }
 
 // Producer is the minimal instruction source interface (a structural
