@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race faults check bench bench-smoke
+.PHONY: build test vet lint race faults check bench bench-all bench-smoke
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,17 @@ faults:
 # check is the full CI gate.
 check: build vet lint race faults
 
+# bench runs the observability regression sweep: the fig1/fig4
+# workload cross-section under every wrong-path technique with metrics
+# and tracing enabled, recording instructions/sec per technique in
+# BENCH_obs.json (schema: obsbench_test.go). CI uploads the record on
+# every push so simulator or instrumentation slowdowns leave a trail.
 bench:
+	$(GO) test -run '^$$' -bench ObsSweep -benchtime 2x -obs-bench-out=BENCH_obs.json .
+	cat BENCH_obs.json
+
+# bench-all runs every benchmark in the module (slow; not a CI gate).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-smoke runs a short fig1 sweep on the batch engine (one worker

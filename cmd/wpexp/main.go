@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliobs"
 	"repro/internal/experiments"
 	"repro/internal/workloads/gap"
 	"repro/internal/workloads/specproxy"
@@ -41,6 +42,8 @@ func main() {
 		degrade  = flag.Bool("degrade", false, "on a recoverable fault, retry a cell one technique rung down instead of failing the sweep (degraded cells are annotated)")
 		retries  = flag.Int("max-retries", 2, "ladder descents allowed per cell (with -degrade)")
 	)
+	var obsFlags cliobs.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	opt := experiments.Options{Out: os.Stdout}
@@ -72,10 +75,14 @@ func main() {
 	if *degrade {
 		opt.MaxRetries = *retries
 	}
+	var err error
+	if opt.Metrics, opt.Trace, err = obsFlags.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "wpexp: observability: %v\n", err)
+		os.Exit(1)
+	}
 
 	r := experiments.NewRunner(opt)
 	start := time.Now()
-	var err error
 	if *exp == "all" {
 		err = r.All()
 	} else {
@@ -84,6 +91,10 @@ func main() {
 	wall := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wpexp: %v\n", err)
+		os.Exit(1)
+	}
+	if err := obsFlags.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "wpexp: observability: %v\n", err)
 		os.Exit(1)
 	}
 	if *benchOut != "" {

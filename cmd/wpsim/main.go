@@ -16,7 +16,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliobs"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 	"repro/internal/workloads/gap"
@@ -47,6 +49,8 @@ func main() {
 		degrade  = flag.Bool("degrade", false, "on a recoverable fault, retry one technique rung down instead of failing")
 		retries  = flag.Int("max-retries", 2, "ladder descents allowed (with -degrade)")
 	)
+	var obsFlags cliobs.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -76,8 +80,14 @@ func main() {
 		fatalf("%v", err)
 	}
 	fault := faultOptions(*watchdog, *degrade, *retries)
+	metrics, tsink, err := obsFlags.Start()
+	if err != nil {
+		fatalf("observability: %v", err)
+	}
+	obsLabel := *suite + "/" + *bench
 	if *wp == "all" {
-		compareAll(cfg, w, *suite, *bench, *maxInsts, *warmup, *parallel, *jobs, fault)
+		compareAll(cfg, w, *suite, *bench, *maxInsts, *warmup, *parallel, *jobs, fault, obsCfg{metrics, tsink, obsLabel})
+		finishObs(&obsFlags)
 		return
 	}
 
@@ -95,7 +105,8 @@ func main() {
 		budget = inst.SuggestedMaxInsts
 	}
 	simCfg := sim.Config{Core: cfg, WP: kind, MaxInsts: budget, WarmupInsts: *warmup,
-		ParallelFrontend: *parallel, Watchdog: fault.Watchdog, Degrade: fault.Degrade}
+		ParallelFrontend: *parallel, Watchdog: fault.Watchdog, Degrade: fault.Degrade,
+		Metrics: metrics, Trace: tsink, ObsLabel: obsLabel}
 	var res *sim.Result
 	if simCfg.Degrade.Enabled() {
 		// Ladder path: the first attempt consumes the prebuilt instance,
@@ -119,7 +130,21 @@ func main() {
 	if err != nil {
 		fatalf("simulating: %v", err)
 	}
+	finishObs(&obsFlags)
 	printResult(*suite, *bench, kind, res)
+}
+
+// obsCfg threads the observability outputs into the comparison run.
+type obsCfg struct {
+	metrics *obs.Registry
+	trace   *obs.TraceSink
+	label   string
+}
+
+func finishObs(f *cliobs.Flags) {
+	if err := f.Finish(); err != nil {
+		fatalf("observability: %v", err)
+	}
 }
 
 // faultConfig bundles the fault-tolerance flags for threading into
@@ -140,10 +165,11 @@ func faultOptions(watchdog time.Duration, degrade bool, retries int) faultConfig
 // compareAll runs the workload under every technique (in
 // wrongpath.Kinds() order) on the batch engine and prints a one-line
 // comparison per kind, with wpemul as the error reference.
-func compareAll(cfg core.Config, w workloads.Workload, suite, bench string, maxInsts, warmup uint64, parallel bool, jobs int, fault faultConfig) {
+func compareAll(cfg core.Config, w workloads.Workload, suite, bench string, maxInsts, warmup uint64, parallel bool, jobs int, fault faultConfig, oc obsCfg) {
 	kinds := wrongpath.Kinds()
 	simCfg := sim.Config{Core: cfg, MaxInsts: maxInsts, WarmupInsts: warmup, ParallelFrontend: parallel,
-		Watchdog: fault.Watchdog, Degrade: fault.Degrade}
+		Watchdog: fault.Watchdog, Degrade: fault.Degrade,
+		Metrics: oc.metrics, Trace: oc.trace, ObsLabel: oc.label}
 	results, err := sim.RunKinds(simCfg, w, kinds, jobs)
 	if err != nil {
 		fatalf("%v", err)

@@ -20,8 +20,10 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/cliobs"
 	"repro/internal/frontend"
 	"repro/internal/functional"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tracefile"
 	"repro/internal/workloads"
@@ -44,6 +46,8 @@ func main() {
 		degrade  = flag.Bool("degrade", false, "replay mode: degrade one technique rung down on a recoverable fault; keep the valid prefix of a corrupt trace")
 		retries  = flag.Int("max-retries", 2, "ladder descents allowed (with -degrade)")
 	)
+	var obsFlags cliobs.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	switch {
@@ -82,12 +86,23 @@ func main() {
 			fatal(err)
 		}
 		st, _ := os.Stat(*out)
+		perInst := 0.0
+		if n > 0 {
+			perInst = float64(st.Size()) / float64(n)
+		}
 		fmt.Printf("recorded %d instructions to %s (%d bytes, %.2f B/inst)\n",
-			n, *out, st.Size(), float64(st.Size())/float64(n))
+			n, *out, st.Size(), perInst)
 
 	case *replay != "":
+		metrics, tsink, err := obsFlags.Start()
+		if err != nil {
+			fatal(fmt.Errorf("observability: %w", err))
+		}
 		if *wp == "all" {
-			replayAll(*replay, *maxInsts, *jobs, *watchdog)
+			replayAll(*replay, *maxInsts, *jobs, *watchdog, metrics, tsink)
+			if err := obsFlags.Finish(); err != nil {
+				fatal(fmt.Errorf("observability: %w", err))
+			}
 			return
 		}
 		kind, ok := wrongpath.ParseKind(*wp)
@@ -101,6 +116,7 @@ func main() {
 		cfg := sim.Default(kind)
 		cfg.MaxInsts = *maxInsts
 		cfg.Watchdog = *watchdog
+		cfg.Metrics, cfg.Trace, cfg.ObsLabel = metrics, tsink, "trace:"+*replay
 		var res *sim.Result
 		if *degrade {
 			// Ladder replay: every attempt replays a fresh reader over the
@@ -140,6 +156,9 @@ func main() {
 		fmt.Printf("mispredicts    %d\n", res.Core.Mispredicts)
 		fmt.Printf("WP executed    %d\n", res.Core.WPExecuted)
 		fmt.Printf("wall time      %v\n", res.Wall)
+		if err := obsFlags.Finish(); err != nil {
+			fatal(fmt.Errorf("observability: %w", err))
+		}
 
 	default:
 		fmt.Fprintln(os.Stderr, "wptrace: need -record or -replay; see -h")
@@ -152,7 +171,7 @@ func main() {
 // bytes, fanned out on the batch engine. Supported kinds are selected
 // by the Source capability check, not a hard-coded list: a trace source
 // cannot emulate wrong paths (paper §III-B), so wpemul is skipped.
-func replayAll(path string, maxInsts uint64, jobs int, watchdog time.Duration) {
+func replayAll(path string, maxInsts uint64, jobs int, watchdog time.Duration, metrics *obs.Registry, tsink *obs.TraceSink) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -175,6 +194,7 @@ func replayAll(path string, maxInsts uint64, jobs int, watchdog time.Duration) {
 			cfg := sim.Default(k)
 			cfg.MaxInsts = maxInsts
 			cfg.Watchdog = watchdog
+			cfg.Metrics, cfg.Trace, cfg.ObsLabel = metrics, tsink, "trace:"+path
 			res, err := sim.RunTrace(cfg, r)
 			if err != nil {
 				return nil, err

@@ -12,9 +12,16 @@ import (
 // their approved accessor functions. Centralizing the increments keeps
 // the correct/wrong attribution in one audited place; a stray `++` on
 // a split counter elsewhere silently corrupts the split.
+//
+// It also guards the observability layer's publication discipline:
+// outside internal/obs, metric handles (obs.Counter/Gauge/Histogram)
+// may not be constructed directly — a hand-rolled handle never appears
+// in a registry snapshot, so samples recorded through it silently
+// vanish from -metrics-out. Handles must come from Registry.Counter /
+// Gauge / Histogram (or a View built over a registry).
 var StatPath = &Analyzer{
 	Name: "statpath",
-	Doc:  "wrong-path-split counters may only be incremented by approved accessors",
+	Doc:  "wrong-path-split counters may only be incremented by approved accessors; obs metric handles may only come from a registry",
 	Run:  runStatPath,
 }
 
@@ -37,7 +44,76 @@ var approvedAccessors = map[string]bool{
 	"internal/core:noteWPExecuted": true, // (*Stats).noteWPExecuted
 }
 
+// obsHandleTypes are the registry-owned metric handle types: their
+// only approved constructors are the Registry accessor methods.
+var obsHandleTypes = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
 func runStatPath(pass *Pass) {
+	runSplitCounters(pass)
+	runObsHandles(pass)
+}
+
+// runObsHandles flags direct construction of obs metric handles
+// (composite literals, new(), and value-typed var declarations)
+// anywhere outside internal/obs itself.
+func runObsHandles(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.Path, "internal/obs") {
+		return // the registry implementation constructs its own handles
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if name, ok := obsHandleType(pass, n.Type); ok {
+					pass.Reportf(n.Pos(), "direct construction of obs.%s; metric handles must come from a Registry (Registry.%s or an obs.View) or they never reach the snapshot", name, name)
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "new" && len(n.Args) == 1 {
+					if name, ok := obsHandleType(pass, n.Args[0]); ok {
+						pass.Reportf(n.Pos(), "direct construction of obs.%s via new(); metric handles must come from a Registry (Registry.%s or an obs.View) or they never reach the snapshot", name, name)
+					}
+				}
+			case *ast.ValueSpec:
+				// A value-typed declaration (var c obs.Counter) mints a zero
+				// handle; pointer declarations are fine — they hold registry
+				// handles.
+				if n.Type != nil {
+					if name, ok := obsHandleType(pass, n.Type); ok {
+						pass.Reportf(n.Pos(), "value declaration of obs.%s mints an unregistered handle; declare a *obs.%s and fill it from a Registry", name, name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// obsHandleType reports whether the type expression denotes one of the
+// obs metric handle value types (not a pointer to one).
+func obsHandleType(pass *Pass, expr ast.Expr) (string, bool) {
+	if expr == nil {
+		return "", false
+	}
+	tv, ok := pass.Pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/obs") {
+		return "", false
+	}
+	if !obsHandleTypes[obj.Name()] {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// runSplitCounters is the original wrong-path-split increment check.
+func runSplitCounters(pass *Pass) {
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			var lhs ast.Expr

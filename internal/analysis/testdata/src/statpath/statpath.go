@@ -6,6 +6,7 @@ package statpath
 import (
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // RawCacheIncrement bumps a split counter directly: flagged.
@@ -36,4 +37,28 @@ func ReadsAndResets(l *cache.Level, s *core.Stats) uint64 {
 	// Non-protected counters may be incremented anywhere.
 	l.Stats.Writebacks++
 	return total
+}
+
+// HandMintedHandles constructs obs metric handles without a registry:
+// every form is flagged — these handles never appear in a snapshot.
+func HandMintedHandles() {
+	c := obs.Counter{} // want: direct construction of obs.Counter
+	c.Inc()
+	g := &obs.Gauge{} // want: direct construction of obs.Gauge
+	g.Set(1)
+	h := new(obs.Histogram) // want: direct construction of obs.Histogram via new()
+	h.Observe(2)
+	var v obs.Counter // want: value declaration of obs.Counter
+	v.Inc()
+}
+
+// RegistryHandles obtains every handle from a registry: passes.
+// Pointer-typed declarations are fine — they hold registry handles.
+func RegistryHandles(r *obs.Registry) uint64 {
+	var c *obs.Counter
+	c = r.Counter(obs.Key("x_total", "wl", "tech"))
+	c.Inc()
+	r.Gauge("g").Set(3)
+	r.Histogram("h").Observe(4)
+	return c.Value()
 }

@@ -1,0 +1,27 @@
+package cache
+
+import "testing"
+
+// TestMissRateZeroDenominator: an idle level (zero accesses) must
+// report a zero miss rate, not NaN, including through the Total
+// aggregation.
+func TestMissRateZeroDenominator(t *testing.T) {
+	cases := []struct {
+		name  string
+		stats PathStats
+		want  float64
+	}{
+		{"idle", PathStats{}, 0},
+		{"misses-without-accesses", PathStats{Misses: 3}, 0},
+		{"normal", PathStats{Accesses: 8, Misses: 2}, 0.25},
+	}
+	for _, c := range cases {
+		if got := c.stats.MissRate(); got != c.want {
+			t.Errorf("%s: MissRate = %v, want %v", c.name, got, c.want)
+		}
+	}
+	var lv LevelStats
+	if got := lv.Total().MissRate(); got != 0 {
+		t.Errorf("idle LevelStats.Total().MissRate() = %v, want 0", got)
+	}
+}

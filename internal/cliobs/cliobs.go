@@ -1,0 +1,90 @@
+// Package cliobs is the shared observability surface of the CLIs
+// (wpsim, wpexp, wptrace): the -pprof, -metrics-out and -trace-out
+// flags, and the start/finish lifecycle around a run. It exists so the
+// three commands expose identical flags with identical semantics and
+// the README documents them once.
+package cliobs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Flags bundles the observability flag values and the live outputs
+// they enable.
+type Flags struct {
+	PProf      string
+	MetricsOut string
+	TraceOut   string
+
+	registry *obs.Registry
+	sink     *obs.TraceSink
+	traceF   *os.File
+	stopProf func() error
+}
+
+// Register installs the three flags on fs (the CLIs pass
+// flag.CommandLine).
+func (o *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.PProf, "pprof", "", "write a CPU profile of the process to this file (view with go tool pprof)")
+	fs.StringVar(&o.MetricsOut, "metrics-out", "", "write the run's observability metrics (JSON, see internal/obs) to this file")
+	fs.StringVar(&o.TraceOut, "trace-out", "", "write a cycle-event trace (Chrome-trace/Perfetto JSON; open in chrome://tracing or ui.perfetto.dev) to this file")
+}
+
+// Start begins profiling and opens the metric/trace outputs according
+// to the parsed flag values. The returned registry and sink are nil
+// for outputs that were not requested — precisely the nil-disables
+// contract of sim.Config.Metrics/Trace.
+func (o *Flags) Start() (*obs.Registry, *obs.TraceSink, error) {
+	if o.PProf != "" {
+		stop, err := obs.StartCPUProfile(o.PProf)
+		if err != nil {
+			return nil, nil, err
+		}
+		o.stopProf = stop
+	}
+	if o.MetricsOut != "" {
+		o.registry = obs.NewRegistry()
+	}
+	if o.TraceOut != "" {
+		f, err := os.Create(o.TraceOut)
+		if err != nil {
+			return nil, nil, fmt.Errorf("creating trace output: %w", err)
+		}
+		o.traceF = f
+		o.sink = obs.NewTraceSink(f)
+	}
+	return o.registry, o.sink, nil
+}
+
+// Finish stops the profile and flushes the metric and trace files. It
+// is safe to call when Start enabled nothing (or was never called).
+func (o *Flags) Finish() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if o.stopProf != nil {
+		keep(o.stopProf())
+		o.stopProf = nil
+	}
+	if o.registry != nil {
+		f, err := os.Create(o.MetricsOut)
+		keep(err)
+		if err == nil {
+			keep(o.registry.WriteJSON(f))
+			keep(f.Close())
+		}
+	}
+	if o.sink != nil {
+		keep(o.sink.Close())
+		keep(o.traceF.Close())
+		o.sink, o.traceF = nil, nil
+	}
+	return first
+}

@@ -5,6 +5,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/codecache"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/trace"
 	"repro/internal/wrongpath"
@@ -145,6 +146,10 @@ type Core struct {
 	wpRing       []uint64
 	dispSnapshot []uint64
 
+	// obs is the run's instrumentation view (nil when disabled; every
+	// hook below it is a no-op behind one nil check).
+	obs *obs.View
+
 	stats Stats
 }
 
@@ -184,6 +189,17 @@ func New(cfg Config, q *queue.Queue, policy wrongpath.Policy) (*Core, error) {
 		MaxLen:  cfg.WPMaxLen(),
 	}
 	return c, nil
+}
+
+// SetObs attaches a run's instrumentation view to the core and its
+// decoupling queue; nil detaches both.
+func (c *Core) SetObs(v *obs.View) {
+	c.obs = v
+	if v == nil {
+		c.q.SetObs(nil)
+		return
+	}
+	c.q.SetObs(&v.Queue)
 }
 
 // Stats returns the accumulated statistics.
@@ -240,6 +256,10 @@ func (c *Core) RunWarmup(warmup, maxInsts uint64) Stats {
 		c.code.Insert(di.PC, di.In)
 		done, commit, pred := c.stepCorrect(&di)
 		c.stats.Instructions++
+		if c.obs != nil && c.stats.Instructions&1023 == 1 {
+			// Queue-occupancy counter series, sampled every 1024 insts.
+			c.obs.QueueDepth(c.lastCommit, c.q.Len())
+		}
 
 		isControl := di.In.Op.IsControl()
 		if isControl {
@@ -249,7 +269,15 @@ func (c *Core) RunWarmup(warmup, maxInsts uint64) Stats {
 		case isControl && pred.Mispredicted:
 			c.stats.Mispredicts++
 			resolve := done
-			c.simulateWrongPath(&di, pred.Target, resolve)
+			wpStart := c.fetchCycle
+			wpLen, wpFetched := c.simulateWrongPath(&di, pred.Target, resolve)
+			if c.obs != nil {
+				var dur uint64
+				if resolve > wpStart {
+					dur = resolve - wpStart
+				}
+				c.obs.Mispredict(di.PC, wpStart, dur, wpLen, wpFetched)
+			}
 			c.redirectFetch(resolve + uint64(c.cfg.RedirectPenalty))
 		case isControl && di.Taken:
 			// Correctly predicted taken: the fetch group ends; the next
@@ -257,6 +285,9 @@ func (c *Core) RunWarmup(warmup, maxInsts uint64) Stats {
 			c.breakFetchGroup()
 		case di.In.Op == isa.OpEcall:
 			c.stats.Serializations++
+			if c.obs != nil {
+				c.obs.Serialize(di.PC, commit)
+			}
 			c.redirectFetch(commit + uint64(c.cfg.RedirectPenalty))
 		}
 		if di.Exit {
@@ -321,6 +352,9 @@ func (c *Core) fetch(pc uint64, wrongPath bool) uint64 {
 		if lat > c.l1iHitLat {
 			// The front end stalls for the miss; the hit pipeline is
 			// otherwise hidden.
+			if c.obs != nil {
+				c.obs.FetchStall(pc, c.fetchCycle, lat-c.l1iHitLat)
+			}
 			c.fetchCycle += lat - c.l1iHitLat
 			c.fetchedInCycle = 0
 		}
@@ -498,10 +532,25 @@ func (c *Core) forward(addr uint64, size int) (done uint64, ok bool) {
 // observation), and access the data hierarchy when their address is
 // known. All register and dispatch bookkeeping is rolled back at the
 // squash; cache and predictor-free structures keep the perturbation.
-func (c *Core) simulateWrongPath(br *trace.DynInst, target uint64, resolve uint64) {
+// It returns the generated wrong-path length and how many of those
+// instructions were actually fetched before resolution (observability
+// only; disabled runs discard them).
+func (c *Core) simulateWrongPath(br *trace.DynInst, target uint64, resolve uint64) (wpLen, wpFetched int) {
+	var prevConvDet, prevConvDist uint64
+	if c.obs != nil {
+		st := c.policy.Stats()
+		prevConvDet, prevConvDist = st.ConvDetected, st.ConvDistSum
+	}
+	genStart := c.obs.WPGenStart()
 	wp := c.policy.Begin(&c.ctx, br, target)
+	c.obs.WPGenDone(genStart)
+	if c.obs != nil {
+		if st := c.policy.Stats(); st.ConvDetected > prevConvDet {
+			c.obs.Convergence(br.PC, c.fetchCycle, st.ConvDistSum-prevConvDist)
+		}
+	}
 	if len(wp) == 0 {
-		return
+		return 0, 0
 	}
 
 	// Snapshot state that the squash logically restores.
@@ -532,6 +581,7 @@ func (c *Core) simulateWrongPath(br *trace.DynInst, target uint64, resolve uint6
 		}
 		fetchAt := c.fetch(wp[i].PC, true)
 		c.stats.noteWPFetched()
+		wpFetched++
 
 		disp := fetchAt + uint64(c.cfg.FetchToDispatch)
 		disp = maxU(disp, c.lastDispatch)
@@ -555,6 +605,7 @@ func (c *Core) simulateWrongPath(br *trace.DynInst, target uint64, resolve uint6
 	c.lastDispatch = savedLastDispatch
 	copy(c.dispRing, c.dispSnapshot)
 	c.dispIdx = savedDispIdx
+	return len(wp), wpFetched
 }
 
 func maxU(a, b uint64) uint64 {

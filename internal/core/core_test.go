@@ -47,7 +47,10 @@ func simulate(t *testing.T, cfg core.Config, kind wrongpath.Kind, src string, se
 		opts = append(opts, frontend.WithWrongPathEmulation(cfg.BranchPred, cfg.WPMaxLen()))
 	}
 	fe := frontend.New(cpu, opts...)
-	q := queue.New(fe, 2*cfg.ROBSize+cfg.FrontendBuffer+64)
+	q, err := queue.New(fe, 2*cfg.ROBSize+cfg.FrontendBuffer+64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	c, err := core.New(cfg, q, wrongpath.New(kind))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,30 @@
+package core
+
+import "testing"
+
+// TestStatsZeroDenominators audits the core-level ratio helpers against
+// their zero-denominator cases: an empty (or truncated-to-nothing) run
+// must report clean zeros, never NaN/Inf.
+func TestStatsZeroDenominators(t *testing.T) {
+	cases := []struct {
+		name  string
+		stats Stats
+		fn    func(Stats) float64
+		want  float64
+	}{
+		{"IPC/empty", Stats{}, Stats.IPC, 0},
+		{"IPC/insts-without-cycles", Stats{Instructions: 100}, Stats.IPC, 0},
+		{"MPKI/empty", Stats{}, Stats.MPKI, 0},
+		{"MPKI/mispredicts-without-insts", Stats{Mispredicts: 5}, Stats.MPKI, 0},
+		{"WPFraction/empty", Stats{}, Stats.WPFraction, 0},
+		{"WPFraction/wp-without-insts", Stats{WPExecuted: 9}, Stats.WPFraction, 0},
+		{"IPC/normal", Stats{Instructions: 200, Cycles: 100}, Stats.IPC, 2},
+		{"MPKI/normal", Stats{Instructions: 1000, Mispredicts: 7}, Stats.MPKI, 7},
+		{"WPFraction/normal", Stats{Instructions: 100, WPExecuted: 25}, Stats.WPFraction, 0.25},
+	}
+	for _, c := range cases {
+		if got := c.fn(c.stats); got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 	"repro/internal/workloads/gap"
@@ -91,6 +92,12 @@ type Options struct {
 	// stay silent on its degraded retries. Fault-free cells are
 	// byte-identical whether or not a hook is installed.
 	WrapSource func(src sim.Source, w workloads.Workload, k wrongpath.Kind) sim.Source
+	// Metrics, when non-nil, receives every run's observability metrics
+	// (labeled workload/technique, see internal/obs). Report text is
+	// unaffected: metrics are written out of band by the caller.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives every run's cycle-event trace track.
+	Trace *obs.TraceSink
 }
 
 func (o *Options) fill() {
@@ -161,7 +168,9 @@ func (r *Runner) simulate(w workloads.Workload, k wrongpath.Kind) (*sim.Result, 
 	}
 	cfg := sim.Config{Core: r.opt.Core, WP: k, MaxInsts: inst.SuggestedMaxInsts,
 		Watchdog: r.opt.Watchdog,
-		Degrade:  sim.DegradePolicy{MaxRetries: r.opt.MaxRetries}}
+		Degrade:  sim.DegradePolicy{MaxRetries: r.opt.MaxRetries},
+		Metrics:  r.opt.Metrics, Trace: r.opt.Trace,
+		ObsLabel: w.Suite + "/" + w.Name}
 	var res *sim.Result
 	if r.faultLayer() {
 		first := inst
@@ -326,7 +335,7 @@ func (r *Runner) Fig1() error {
 		sum += e
 		r.printf("%-8s %10.3f %10.3f %10s\n", w.Name, nowp.IPC(), ref.IPC(), pct(e))
 	}
-	r.printf("%-8s %21s %10s\n", "mean", "", pct(sum/6))
+	r.printf("%-8s %21s %10s\n", "mean", "", pct(sum/float64(len(gap.Suite(r.opt.GAP)))))
 	r.printf("\npaper: all errors zero or negative, average -9.6%%, up to -22%%;\n")
 	r.printf("pr ~0 (no conditional branch in its inner loop), tc small (compute bound).\n")
 	return nil
@@ -357,7 +366,7 @@ func (r *Runner) Fig4GAP() error {
 	}
 	r.printf("%-8s", "mean")
 	for _, k := range approx {
-		r.printf(" %10s", pct(sums[k]/6))
+		r.printf(" %10s", pct(sums[k]/float64(len(gap.Suite(r.opt.GAP)))))
 	}
 	r.printf("\n\n(*) convres = conv + wrong-path branch resolution, this reproduction's\n")
 	r.printf("extension beyond the paper (see DESIGN.md).\n")

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/workloads/gap"
 	"repro/internal/workloads/specproxy"
 )
@@ -99,6 +102,61 @@ func TestReportBytesIdenticalAcrossJobs(t *testing.T) {
 	if serialOut.String() != parallelOut.String() {
 		t.Errorf("report text differs between jobs=1 and jobs=4:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s",
 			serialOut.String(), parallelOut.String())
+	}
+}
+
+// TestReportBytesIdenticalWithObs: attaching the observability stack
+// to a runner must not change a byte of the report text — the registry
+// and trace sink are side channels, never report inputs. The sweep must
+// still leave a valid Perfetto trace and a populated metrics registry
+// behind (the acceptance criterion's enabled half at the report level).
+func TestReportBytesIdenticalWithObs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("miniature experiment sweep skipped in -short mode")
+	}
+	plain, plainOut := testRunner(t)
+	if err := plain.Run("fig1"); err != nil {
+		t.Fatal(err)
+	}
+
+	var observedOut strings.Builder
+	var traceBuf bytes.Buffer
+	reg := obs.NewRegistry()
+	sink := obs.NewTraceSink(&traceBuf)
+	observed := NewRunner(Options{
+		GAP:     gap.Params{N: 256, Degree: 4, Seed: 7, MaxInsts: 60_000},
+		Spec:    specproxy.Params{Scale: 0.01, Seed: 99},
+		Out:     &observedOut,
+		Metrics: reg,
+		Trace:   sink,
+	})
+	if err := observed.Run("fig1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if plainOut.String() != observedOut.String() {
+		t.Errorf("report text differs with observability attached:\n--- plain ---\n%s\n--- observed ---\n%s",
+			plainOut.String(), observedOut.String())
+	}
+	if !json.Valid(traceBuf.Bytes()) {
+		t.Error("sweep trace is not valid JSON")
+	}
+	snap := reg.Snapshot()
+	if len(snap) == 0 {
+		t.Error("metrics registry empty after an instrumented sweep")
+	}
+	// Every fig1 cell runs nowp and wpemul over the six GAP kernels;
+	// each must have published exactly one run.
+	for _, wl := range []string{"gap/bfs", "gap/cc"} {
+		for _, tech := range []string{"nowp", "wpemul"} {
+			key := obs.Key("sim_runs_total", wl, tech)
+			if got := reg.Counter(key).Value(); got != 1 {
+				t.Errorf("%s = %d, want 1", key, got)
+			}
+		}
 	}
 }
 

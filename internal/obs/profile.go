@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins a CPU profile written to path and returns the
+// stop function (flushes and closes the file). It backs the CLIs'
+// -pprof flag; the profile is host-side observability and never touches
+// simulated state.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: creating profile %s: %w", path, err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: starting CPU profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}

@@ -1,0 +1,165 @@
+package obs
+
+import "time"
+
+// View bundles one run's live instrumentation: the registry series the
+// run publishes into (pre-resolved so the hot path never takes the
+// registry lock) and the run's trace track. A nil *View disables every
+// hook at the cost of one nil check — the wiring contract that keeps a
+// disabled run bit-identical to an uninstrumented build.
+//
+// Views carry *sampling* instrumentation only (distributions, spans,
+// watchdog ticks). Run-level aggregate counters — wrong-path generation
+// counts, instructions, degradations — are published by the sim layer
+// once per *accepted* result, so a sweep's totals count every cell
+// exactly once no matter how many degraded-ladder attempts ran.
+type View struct {
+	Workload  string
+	Technique string
+
+	// Queue is the decoupling-queue hook bundle (handles may be nil
+	// when only tracing is enabled).
+	Queue QueueObs
+
+	track     *Track
+	wpGenNS   *Histogram
+	wdSamples *Counter
+	wdStalls  *Counter
+}
+
+// QueueObs is the decoupling queue's hook bundle; internal/queue holds
+// a pointer to one (nil when uninstrumented).
+type QueueObs struct {
+	// Occupancy samples the buffered-entry count on every Pop.
+	Occupancy *Histogram
+	// PeekDepth samples the requested lookahead index of every Peek.
+	PeekDepth *Histogram
+	// PeekMiss counts Peeks answered false (program end or clip).
+	PeekMiss *Counter
+	// PeekClipped counts Peeks refused at the capacity ceiling while
+	// the producer still had instructions — the silent-truncation case
+	// the queue otherwise grows past.
+	PeekClipped *Counter
+	// Grows counts ring-buffer growths triggered by deep Peeks.
+	Grows *Counter
+}
+
+// NewView resolves one run's handles. reg and sink may each be nil
+// independently; if both are nil the caller should keep a nil *View
+// instead so hot-path hooks reduce to one nil check.
+func NewView(reg *Registry, sink *TraceSink, workload, technique string) *View {
+	v := &View{
+		Workload:  workload,
+		Technique: technique,
+		track:     sink.Track(Key("run", workload, technique)),
+		wpGenNS:   reg.Histogram(Key("wrongpath_gen_latency_ns", workload, technique)),
+		wdSamples: reg.Counter(Key("watchdog_samples_total", workload, technique)),
+		wdStalls:  reg.Counter(Key("watchdog_stalls_total", workload, technique)),
+	}
+	v.Queue = QueueObs{
+		Occupancy:   reg.Histogram(Key("queue_occupancy", workload, technique)),
+		PeekDepth:   reg.Histogram(Key("queue_peek_depth", workload, technique)),
+		PeekMiss:    reg.Counter(Key("queue_peek_miss_total", workload, technique)),
+		PeekClipped: reg.Counter(Key("queue_peek_clipped_total", workload, technique)),
+		Grows:       reg.Counter(Key("queue_grow_total", workload, technique)),
+	}
+	return v
+}
+
+// --- core-side hooks (cycle timestamps) ---
+
+// FetchStall records a front-end stall on an instruction-cache miss:
+// dur cycles beyond the hidden hit latency, starting at cycle ts.
+func (v *View) FetchStall(pc, ts, dur uint64) {
+	if v == nil {
+		return
+	}
+	v.track.Span("fetch-stall", ts, dur, Arg{"pc", pc})
+}
+
+// Mispredict records one misprediction's speculation window: the span
+// from wrong-path fetch start to branch resolution, with the length of
+// the generated wrong path and how much of it was fetched.
+func (v *View) Mispredict(pc, ts, dur uint64, wpLen, wpFetched int) {
+	if v == nil {
+		return
+	}
+	v.track.Span("mispredict", ts, dur,
+		Arg{"pc", pc}, Arg{"wp_len", uint64(wpLen)}, Arg{"wp_fetched", uint64(wpFetched)})
+}
+
+// Convergence records a detected wrong-path/correct-path convergence at
+// cycle ts, dist instructions down the wrong path.
+func (v *View) Convergence(pc, ts, dist uint64) {
+	if v == nil {
+		return
+	}
+	v.track.Instant("convergence", ts, Arg{"pc", pc}, Arg{"dist", dist})
+}
+
+// Serialize records a pipeline drain for an environment call.
+func (v *View) Serialize(pc, ts uint64) {
+	if v == nil {
+		return
+	}
+	v.track.Instant("serialize", ts, Arg{"pc", pc})
+}
+
+// QueueDepth samples the decoupling queue's occupancy counter series at
+// cycle ts.
+func (v *View) QueueDepth(ts uint64, occupancy int) {
+	if v == nil {
+		return
+	}
+	v.track.Counter("queue occupancy", ts, uint64(occupancy))
+}
+
+// --- wrong-path generation latency (host time, never fed back into
+// simulation) ---
+
+// WPGenStart begins a wrong-path generation latency measurement.
+func (v *View) WPGenStart() time.Time {
+	if v == nil {
+		return time.Time{}
+	}
+	return now()
+}
+
+// WPGenDone completes a measurement started by WPGenStart.
+func (v *View) WPGenDone(start time.Time) {
+	if v == nil {
+		return
+	}
+	v.wpGenNS.Observe(uint64(now().Sub(start).Nanoseconds()))
+}
+
+// now is the observability layer's single wall-clock read: it feeds
+// latency histograms only, never simulated state, so disabled-path
+// output stays bit-identical.
+func now() time.Time {
+	return time.Now() //wplint:allow determinism -- observability-only latency probe; never influences simulated state
+}
+
+// --- watchdog hooks (called from the watchdog goroutine) ---
+
+// WatchdogSample records one liveness sample: the producer/consumer
+// progress counters at the sample. The trace timestamp is the consumer
+// position (cycles are not visible to the watchdog goroutine), keeping
+// samples ordered along the run.
+func (v *View) WatchdogSample(produced, popped uint64) {
+	if v == nil {
+		return
+	}
+	v.wdSamples.Inc()
+	v.track.Instant("watchdog-sample", popped, Arg{"produced", produced}, Arg{"popped", popped})
+}
+
+// WatchdogStall records a fired stall verdict.
+func (v *View) WatchdogStall(pc, produced, popped uint64) {
+	if v == nil {
+		return
+	}
+	v.wdStalls.Inc()
+	v.track.Instant("watchdog-stall", popped,
+		Arg{"pc", pc}, Arg{"produced", produced}, Arg{"popped", popped})
+}

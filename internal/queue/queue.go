@@ -9,12 +9,29 @@
 // guarantees a configurable minimum lookahead by refilling from the
 // producer on demand; near program end, Peek simply reports that fewer
 // instructions remain (the paper's "skip the convergence check" case).
+// A Peek deeper than the current ring grows it (power-of-two steps, up
+// to MaxCapacity), so a deep convergence search is answered from the
+// program rather than silently refused at an allocation boundary.
 package queue
 
 import (
+	"fmt"
 	"sync/atomic"
 
+	"repro/internal/obs"
+	"repro/internal/simerr"
 	"repro/internal/trace"
+)
+
+// MaxLookahead is the largest accepted fill target, and MaxCapacity
+// (its next power of two) the ceiling the ring can grow to. One DynInst
+// is a few dozen bytes, so the ceiling bounds a single queue at low
+// hundreds of MB — far beyond any configured lookahead (the sim layer
+// derives ~2×ROB) but small enough that a runaway configuration fails
+// up front with a typed fault instead of an allocation crash.
+const (
+	MaxLookahead = 1 << 22
+	MaxCapacity  = 1 << 23
 )
 
 // Producer supplies dynamic instructions; ok is false at program end.
@@ -27,13 +44,17 @@ type Producer interface {
 // the queue.
 type Queue struct {
 	src  Producer
-	buf  []trace.DynInst // ring buffer
+	buf  []trace.DynInst // ring buffer; len is a power of two
 	head int             // index of next instruction to pop
 	n    int             // live entries
 	done bool            // producer exhausted
 
 	// lookahead is the fill target maintained before every Pop.
 	lookahead int
+
+	// obs is the optional instrumentation bundle (nil when disabled; the
+	// handles inside are themselves nil-safe).
+	obs *obs.QueueObs
 
 	// popped is atomic so the stall watchdog can sample consumer
 	// progress from its own goroutine; the queue itself remains
@@ -42,17 +63,27 @@ type Queue struct {
 }
 
 // New creates a queue that keeps at least lookahead instructions
-// buffered (capacity permitting) ahead of the consumer.
-func New(src Producer, lookahead int) *Queue {
+// buffered ahead of the consumer. A lookahead beyond MaxLookahead is
+// rejected with a typed simerr.ErrConfig fault (deterministic, so the
+// degradation ladder does not retry it).
+func New(src Producer, lookahead int) (*Queue, error) {
 	if lookahead < 1 {
 		lookahead = 1
+	}
+	if lookahead > MaxLookahead {
+		return nil, simerr.Config("sizing decoupling queue",
+			fmt.Errorf("queue: lookahead %d exceeds maximum %d", lookahead, MaxLookahead))
 	}
 	cap_ := 1
 	for cap_ < lookahead+1 {
 		cap_ *= 2
 	}
-	return &Queue{src: src, buf: make([]trace.DynInst, cap_), lookahead: lookahead}
+	return &Queue{src: src, buf: make([]trace.DynInst, cap_), lookahead: lookahead}, nil
 }
+
+// SetObs attaches the instrumentation bundle; nil detaches it. The
+// uninstrumented hot path pays one nil check per operation.
+func (q *Queue) SetObs(o *obs.QueueObs) { q.obs = o }
 
 func (q *Queue) fill(target int) {
 	if target > len(q.buf) {
@@ -69,10 +100,36 @@ func (q *Queue) fill(target int) {
 	}
 }
 
+// grow re-rings the buffer to the next power of two holding min
+// entries. It reports false — leaving the queue untouched — when min
+// exceeds MaxCapacity.
+func (q *Queue) grow(min int) bool {
+	if min > MaxCapacity {
+		return false
+	}
+	newCap := len(q.buf)
+	for newCap < min {
+		newCap *= 2
+	}
+	nbuf := make([]trace.DynInst, newCap)
+	for j := 0; j < q.n; j++ {
+		nbuf[j] = q.buf[(q.head+j)&(len(q.buf)-1)]
+	}
+	q.buf = nbuf
+	q.head = 0
+	if q.obs != nil {
+		q.obs.Grows.Inc()
+	}
+	return true
+}
+
 // Pop removes and returns the next instruction; ok is false when the
 // program has ended.
 func (q *Queue) Pop() (trace.DynInst, bool) {
 	q.fill(q.lookahead)
+	if q.obs != nil {
+		q.obs.Occupancy.Observe(uint64(q.n))
+	}
 	if q.n == 0 {
 		return trace.DynInst{}, false
 	}
@@ -85,15 +142,31 @@ func (q *Queue) Pop() (trace.DynInst, bool) {
 }
 
 // Peek returns the i-th instruction ahead (0 = the one the next Pop
-// returns) without consuming it, refilling from the producer as needed.
-// ok is false when fewer than i+1 instructions remain in the program.
+// returns) without consuming it, refilling from the producer — and
+// growing the ring, up to MaxCapacity — as needed. ok is false when
+// fewer than i+1 instructions remain in the program, or when i is
+// beyond the capacity ceiling (counted as a clipped peek).
 func (q *Queue) Peek(i int) (trace.DynInst, bool) {
-	if i >= len(q.buf) {
+	if q.obs != nil {
+		q.obs.PeekDepth.Observe(uint64(i))
+	}
+	if i >= len(q.buf) && !q.grow(i+1) {
+		if q.obs != nil {
+			if !q.done {
+				// The producer may still have instructions; the refusal
+				// is the ceiling's doing, not the program end's.
+				q.obs.PeekClipped.Inc()
+			}
+			q.obs.PeekMiss.Inc()
+		}
 		return trace.DynInst{}, false
 	}
 	if i >= q.n {
 		q.fill(i + 1)
 		if i >= q.n {
+			if q.obs != nil {
+				q.obs.PeekMiss.Inc()
+			}
 			return trace.DynInst{}, false
 		}
 	}
@@ -109,3 +182,6 @@ func (q *Queue) Popped() uint64 { return q.popped.Load() }
 
 // Lookahead returns the guaranteed fill target.
 func (q *Queue) Lookahead() int { return q.lookahead }
+
+// Cap returns the current ring capacity (exported for boundary tests).
+func (q *Queue) Cap() int { return len(q.buf) }

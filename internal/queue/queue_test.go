@@ -1,9 +1,12 @@
 package queue
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/obs"
+	"repro/internal/simerr"
 	"repro/internal/trace"
 )
 
@@ -33,8 +36,17 @@ func mkSeq(n int) []trace.DynInst {
 	return out
 }
 
+func mustNew(t *testing.T, src Producer, lookahead int) *Queue {
+	t.Helper()
+	q, err := New(src, lookahead)
+	if err != nil {
+		t.Fatalf("New(lookahead=%d): %v", lookahead, err)
+	}
+	return q
+}
+
 func TestPopOrder(t *testing.T) {
-	q := New(&sliceProducer{seq: mkSeq(100)}, 8)
+	q := mustNew(t, &sliceProducer{seq: mkSeq(100)}, 8)
 	for i := 0; i < 100; i++ {
 		d, ok := q.Pop()
 		if !ok || d.Seq != uint64(i) {
@@ -50,7 +62,7 @@ func TestPopOrder(t *testing.T) {
 }
 
 func TestPeekDoesNotConsume(t *testing.T) {
-	q := New(&sliceProducer{seq: mkSeq(50)}, 16)
+	q := mustNew(t, &sliceProducer{seq: mkSeq(50)}, 16)
 	for i := 0; i < 10; i++ {
 		d, ok := q.Peek(i)
 		if !ok || d.Seq != uint64(i) {
@@ -68,7 +80,7 @@ func TestPeekDoesNotConsume(t *testing.T) {
 }
 
 func TestPeekBeyondEnd(t *testing.T) {
-	q := New(&sliceProducer{seq: mkSeq(5)}, 16)
+	q := mustNew(t, &sliceProducer{seq: mkSeq(5)}, 16)
 	if _, ok := q.Peek(4); !ok {
 		t.Error("peek at last failed")
 	}
@@ -83,16 +95,140 @@ func TestPeekBeyondEnd(t *testing.T) {
 	}
 }
 
-func TestPeekBeyondCapacity(t *testing.T) {
-	q := New(&sliceProducer{seq: mkSeq(1000)}, 8) // capacity rounded to ≥ 9
-	if _, ok := q.Peek(len(q.buf)); ok {
-		t.Error("peek beyond ring capacity succeeded")
+// TestPeekBeyondCapacityGrows is the regression test at the old ring
+// boundary: Peek at (and far past) the initial capacity used to be
+// silently refused even though the producer had the instructions — a
+// convergence search cliff invisible to the caller. The ring now grows.
+func TestPeekBeyondCapacityGrows(t *testing.T) {
+	q := mustNew(t, &sliceProducer{seq: mkSeq(1000)}, 8) // capacity rounded to ≥ 9
+	oldCap := q.Cap()
+	if oldCap >= 1000 {
+		t.Fatalf("initial capacity %d defeats the test", oldCap)
+	}
+	// The exact old boundary: Peek(cap) previously returned false.
+	d, ok := q.Peek(oldCap)
+	if !ok || d.Seq != uint64(oldCap) {
+		t.Fatalf("Peek(%d) at old capacity boundary = %+v, %v", oldCap, d, ok)
+	}
+	if q.Cap() <= oldCap {
+		t.Errorf("ring did not grow: cap %d", q.Cap())
+	}
+	// Far past the original ring, still within the program.
+	if d, ok := q.Peek(777); !ok || d.Seq != 777 {
+		t.Fatalf("deep Peek(777) = %+v, %v", d, ok)
+	}
+	// Growth preserved FIFO order end to end.
+	for i := 0; i < 1000; i++ {
+		if d, ok := q.Pop(); !ok || d.Seq != uint64(i) {
+			t.Fatalf("pop %d after growth = %+v, %v", i, d, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("pop past end succeeded")
+	}
+}
+
+// TestPeekGrowthAfterWrap grows a ring whose head has wrapped, checking
+// the re-ring copy preserves the logical order.
+func TestPeekGrowthAfterWrap(t *testing.T) {
+	q := mustNew(t, &sliceProducer{seq: mkSeq(400)}, 8)
+	for i := 0; i < 100; i++ { // drive head well around the 16-slot ring
+		q.Pop()
+	}
+	for i := 0; i < 200; i++ {
+		if d, ok := q.Peek(i); !ok || d.Seq != uint64(100+i) {
+			t.Fatalf("Peek(%d) after wrap+growth = %+v, %v; want Seq %d", i, d, ok, 100+i)
+		}
+	}
+	for i := 100; i < 400; i++ {
+		if d, ok := q.Pop(); !ok || d.Seq != uint64(i) {
+			t.Fatalf("pop %d after wrap+growth = %+v, %v", i, d, ok)
+		}
+	}
+}
+
+// TestPeekClipAtCeiling: a Peek beyond MaxCapacity is refused without
+// growing and counted as clipped when the producer still had more.
+func TestPeekClipAtCeiling(t *testing.T) {
+	q := mustNew(t, &sliceProducer{seq: mkSeq(32)}, 8)
+	var qo obs.QueueObs
+	reg := obs.NewRegistry()
+	qo.PeekMiss = reg.Counter("miss")
+	qo.PeekClipped = reg.Counter("clip")
+	qo.Grows = reg.Counter("grow")
+	q.SetObs(&qo)
+	capBefore := q.Cap()
+	if _, ok := q.Peek(MaxCapacity); ok {
+		t.Fatal("Peek at the capacity ceiling succeeded")
+	}
+	if q.Cap() != capBefore {
+		t.Errorf("refused peek still grew the ring to %d", q.Cap())
+	}
+	if qo.PeekClipped.Value() != 1 || qo.PeekMiss.Value() != 1 || qo.Grows.Value() != 0 {
+		t.Errorf("clip=%d miss=%d grow=%d, want 1/1/0",
+			qo.PeekClipped.Value(), qo.PeekMiss.Value(), qo.Grows.Value())
+	}
+	// Past program end (producer exhausted) is a miss, not a clip.
+	if _, ok := q.Peek(100); ok {
+		t.Fatal("peek past program end succeeded")
+	}
+	if qo.PeekClipped.Value() != 1 {
+		t.Errorf("end-of-program miss counted as clipped")
+	}
+}
+
+// TestNewLookaheadClamp: an absurd lookahead is a typed, deterministic
+// configuration fault — not an allocation crash or an infinite sizing
+// loop — and the degradation ladder must not classify it recoverable.
+func TestNewLookaheadClamp(t *testing.T) {
+	if _, err := New(&sliceProducer{}, MaxLookahead); err != nil {
+		t.Errorf("New at MaxLookahead rejected: %v", err)
+	}
+	_, err := New(&sliceProducer{}, MaxLookahead+1)
+	if err == nil {
+		t.Fatal("New beyond MaxLookahead succeeded")
+	}
+	if !errors.Is(err, simerr.ErrConfig) {
+		t.Errorf("err = %v, want simerr.ErrConfig", err)
+	}
+	var f *simerr.Fault
+	if !errors.As(err, &f) {
+		t.Errorf("err is not a *simerr.Fault: %T", err)
+	}
+}
+
+// TestObsHooks: occupancy and peek-depth sampling fire per operation.
+func TestObsHooks(t *testing.T) {
+	q := mustNew(t, &sliceProducer{seq: mkSeq(100)}, 8)
+	reg := obs.NewRegistry()
+	qo := obs.QueueObs{
+		Occupancy: reg.Histogram("occ"),
+		PeekDepth: reg.Histogram("depth"),
+		PeekMiss:  reg.Counter("miss"),
+		Grows:     reg.Counter("grow"),
+	}
+	q.SetObs(&qo)
+	q.Pop()
+	q.Pop()
+	q.Peek(3)
+	q.Peek(50) // grows the 16-slot ring
+	if qo.Occupancy.Count() != 2 {
+		t.Errorf("occupancy samples = %d, want 2", qo.Occupancy.Count())
+	}
+	if qo.PeekDepth.Count() != 2 {
+		t.Errorf("peek depth samples = %d, want 2", qo.PeekDepth.Count())
+	}
+	if qo.Grows.Value() != 1 {
+		t.Errorf("grows = %d, want 1", qo.Grows.Value())
+	}
+	if qo.PeekMiss.Value() != 0 {
+		t.Errorf("miss = %d, want 0", qo.PeekMiss.Value())
 	}
 }
 
 func TestLookaheadMaintained(t *testing.T) {
 	p := &sliceProducer{seq: mkSeq(100)}
-	q := New(p, 10)
+	q := mustNew(t, p, 10)
 	q.Pop()
 	// The queue refills to the lookahead target before each pop, so at
 	// least lookahead-1 instructions remain buffered afterwards.
@@ -107,7 +243,7 @@ func TestLookaheadMaintained(t *testing.T) {
 }
 
 func TestLookaheadFloor(t *testing.T) {
-	q := New(&sliceProducer{seq: mkSeq(10)}, 0)
+	q := mustNew(t, &sliceProducer{seq: mkSeq(10)}, 0)
 	if q.Lookahead() != 1 {
 		t.Errorf("lookahead = %d, want 1", q.Lookahead())
 	}
@@ -120,7 +256,7 @@ func TestLookaheadFloor(t *testing.T) {
 // verifies the full peek window stays coherent at every position.
 func TestPeekAcrossWrapAround(t *testing.T) {
 	const la = 8
-	q := New(&sliceProducer{seq: mkSeq(300)}, la) // capacity 16 < 300: head must wrap
+	q := mustNew(t, &sliceProducer{seq: mkSeq(300)}, la) // capacity 16 < 300: head must wrap
 	for popped := 0; popped < 280; popped++ {
 		// The peek window ahead of the consumer always reports the
 		// upcoming sequence numbers, regardless of where head sits.
@@ -143,7 +279,7 @@ func TestPeekAcrossWrapAround(t *testing.T) {
 // entries past the tail.
 func TestPeekPastTailNearEnd(t *testing.T) {
 	const n = 12
-	q := New(&sliceProducer{seq: mkSeq(n)}, 16) // capacity 32 ≥ n: false means end, not ring limit
+	q := mustNew(t, &sliceProducer{seq: mkSeq(n)}, 16) // capacity 32 ≥ n: false means end, not ring limit
 	for popped := 0; popped < n; popped++ {
 		remaining := n - popped
 		for i := 0; i < remaining; i++ {
@@ -174,7 +310,7 @@ func TestPeekPastTailNearEnd(t *testing.T) {
 // ahead again for the next convergence check. The run-ahead window must
 // pick up exactly where the burst left off.
 func TestPeekAfterSquashBurst(t *testing.T) {
-	q := New(&sliceProducer{seq: mkSeq(500)}, 16)
+	q := mustNew(t, &sliceProducer{seq: mkSeq(500)}, 16)
 	next := uint64(0)
 	bursts := []int{1, 31, 2, 17, 64, 5, 33} // crosses the ring boundary repeatedly
 	for _, burst := range bursts {
@@ -207,7 +343,7 @@ func TestQuickPeekPopAgreement(t *testing.T) {
 		n := int(n0)%200 + 20
 		la := int(la0)%32 + 1
 		i := int(i0) % 16
-		q := New(&sliceProducer{seq: mkSeq(n)}, la)
+		q := mustNew(t, &sliceProducer{seq: mkSeq(n)}, la)
 		want, ok := q.Peek(i)
 		if !ok {
 			return true

@@ -100,11 +100,17 @@ func attempt(cfg Config, mk func(Config) (Source, error)) (res *Result, err erro
 // Unrecoverable faults, exhausted retries, and a floor with no rung
 // below all return the typed fault — the cell fails loudly, the sweep
 // survives. Fault-free runs return bit-identical results to Run.
+// With Config.Metrics set, the accepted result's aggregate counters are
+// published exactly once — failed rungs sample live distributions under
+// their own technique label but contribute nothing to run totals — and
+// every descent increments sim_degrade_retries_total under the
+// requested technique.
 func RunLadder(cfg Config, mk func(Config) (Source, error)) (*Result, error) {
 	requested := cfg.WP
 	res, err := attempt(cfg, mk)
 	fault := runFault(res, err)
 	if fault == nil {
+		cfg.publish(res)
 		return res, err
 	}
 	for retries := 0; ; retries++ {
@@ -112,6 +118,7 @@ func RunLadder(cfg Config, mk func(Config) (Source, error)) (*Result, error) {
 			res.RequestedWP = requested
 			res.Degraded = true
 			res.DegradeFault = simerr.Degraded(requested.String(), cfg.WP.String()+" (partial prefix)", fault)
+			cfg.publish(res)
 			return res, nil
 		}
 		if retries >= cfg.Degrade.MaxRetries || !Recoverable(fault) {
@@ -121,6 +128,7 @@ func RunLadder(cfg Config, mk func(Config) (Source, error)) (*Result, error) {
 		if !ok {
 			return nil, fault
 		}
+		cfg.noteRetry(requested.String())
 		cfg.WP = down
 		res, err = attempt(cfg, mk)
 		if next := runFault(res, err); next != nil {
@@ -130,6 +138,7 @@ func RunLadder(cfg Config, mk func(Config) (Source, error)) (*Result, error) {
 		res.RequestedWP = requested
 		res.Degraded = true
 		res.DegradeFault = simerr.Degraded(requested.String(), down.String(), fault)
+		cfg.publish(res)
 		return res, nil
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/simerr"
 	"repro/internal/wrongpath"
@@ -20,6 +21,7 @@ type Session struct {
 	queue  *queue.Queue
 	policy wrongpath.Policy
 	core   *core.Core
+	view   *obs.View // nil when observability is disabled
 }
 
 // NewSession validates the configuration against the source's
@@ -44,7 +46,11 @@ func NewSession(cfg Config, src Source) (*Session, error) {
 		s.tap = &progressTap{src: src}
 		producer = s.tap
 	}
-	s.queue = queue.New(producer, cfg.lookahead())
+	q, err := queue.New(producer, cfg.lookahead())
+	if err != nil {
+		return nil, err
+	}
+	s.queue = q
 	if cfg.PolicyFactory != nil {
 		s.policy = cfg.PolicyFactory()
 	} else {
@@ -55,6 +61,9 @@ func NewSession(cfg Config, src Source) (*Session, error) {
 		return nil, err
 	}
 	s.core = c
+	if s.view = cfg.view(); s.view != nil {
+		s.core.SetObs(s.view)
+	}
 	return s, nil
 }
 
@@ -71,7 +80,7 @@ func (s *Session) Run() *Result {
 	clk := s.cfg.clock()
 	var wd *watchdog
 	if s.cfg.Watchdog > 0 {
-		wd = startWatchdog(s.cfg.watchdogClock(), s.cfg.Watchdog, s.tap, s.queue, s.src, s.cfg.WP.String())
+		wd = startWatchdog(s.cfg.watchdogClock(), s.cfg.Watchdog, s.tap, s.queue, s.src, s.cfg.WP.String(), s.view)
 	}
 	start := clk.Now()
 	stats := s.core.RunWarmup(s.cfg.WarmupInsts, s.cfg.MaxInsts)

@@ -20,6 +20,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/workloads"
 	"repro/internal/wrongpath"
@@ -69,6 +70,19 @@ type Config struct {
 	// recoverable fault a job is re-run one technique rung down instead
 	// of failing the sweep. Zero value = disabled.
 	Degrade DegradePolicy
+	// Metrics is the optional observability registry; runs sample live
+	// distributions (queue occupancy, peek depth, wrong-path generation
+	// latency) into it, and the accepting entry points (Run, RunTrace,
+	// RunLadder) publish the accepted result's aggregate counters
+	// exactly once. nil disables metrics; a disabled run's simulation
+	// output is bit-identical to an instrumented build's.
+	Metrics *obs.Registry
+	// Trace is the optional cycle-event trace sink (Chrome-trace JSON);
+	// each run emits its spans onto its own track. nil disables tracing.
+	Trace *obs.TraceSink
+	// ObsLabel names the workload in metric labels and trace track names
+	// ("gap/bfs"); RunKinds fills it from the workload when empty.
+	ObsLabel string
 }
 
 // clock returns the configured Clock, defaulting to the wall clock.
@@ -151,7 +165,9 @@ func Run(cfg Config, inst *workloads.Instance) (*Result, error) {
 		src.Close()
 		return nil, err
 	}
-	return s.Run(), nil
+	res := s.Run()
+	cfg.publish(res)
+	return res, nil
 }
 
 // RunTrace simulates a pre-recorded instruction trace (see
@@ -166,7 +182,9 @@ func RunTrace(cfg Config, src queue.Producer) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.Run(), nil
+	res := s.Run()
+	cfg.publish(res)
+	return res, nil
 }
 
 // Error is the paper's accuracy metric: the relative difference in
@@ -200,6 +218,9 @@ func RunKinds(cfg Config, w workloads.Workload, kinds []wrongpath.Kind, workers 
 			c.WP = k
 			if c.MaxInsts == 0 {
 				c.MaxInsts = inst.SuggestedMaxInsts
+			}
+			if c.obsEnabled() && c.ObsLabel == "" {
+				c.ObsLabel = w.Suite + "/" + w.Name
 			}
 			var r *Result
 			if c.Degrade.Enabled() {

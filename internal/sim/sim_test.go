@@ -236,4 +236,13 @@ func TestErrorMetric(t *testing.T) {
 	if e := Error(fast, fast); e != 0 {
 		t.Fatalf("Error(fast, fast) = %f, want 0", e)
 	}
+	// Zero-denominator audit: an empty reference (zero IPC) must yield a
+	// clean zero error, not NaN/Inf.
+	empty := &Result{}
+	if e := Error(fast, empty); e != 0 {
+		t.Fatalf("Error(fast, empty-ref) = %f, want 0", e)
+	}
+	if e := Error(empty, empty); e != 0 {
+		t.Fatalf("Error(empty, empty) = %f, want 0", e)
+	}
 }

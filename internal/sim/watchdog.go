@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/simerr"
 	"repro/internal/trace"
@@ -67,7 +68,7 @@ type watchdog struct {
 // startWatchdog launches the sampling goroutine. stop must be called
 // exactly once; it waits for the goroutine to exit so the fault value
 // is settled when the session assembles its Result.
-func startWatchdog(clk AfterClock, budget time.Duration, tap *progressTap, q *queue.Queue, src Source, wp string) *watchdog {
+func startWatchdog(clk AfterClock, budget time.Duration, tap *progressTap, q *queue.Queue, src Source, wp string, view *obs.View) *watchdog {
 	w := &watchdog{done: make(chan struct{}), ack: make(chan struct{})}
 	go func() {
 		defer close(w.ack)
@@ -80,10 +81,12 @@ func startWatchdog(clk AfterClock, budget time.Duration, tap *progressTap, q *qu
 			case <-clk.After(budget):
 			}
 			produced, popped := tap.produced.Load(), q.Popped()
+			view.WatchdogSample(produced, popped)
 			if produced != lastProduced || popped != lastPopped {
 				lastProduced, lastPopped = produced, popped
 				continue
 			}
+			view.WatchdogStall(tap.lastPC.Load(), produced, popped)
 			w.fault.Store(&simerr.Fault{
 				Kind:      simerr.ErrStall,
 				Op:        "stall watchdog",

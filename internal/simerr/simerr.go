@@ -49,6 +49,12 @@ var (
 	// the degradation ladder; the Fault's cause is the fault that forced
 	// the descent.
 	ErrDegraded = errors.New("degraded run")
+
+	// ErrConfig classifies an invalid simulation configuration (e.g. a
+	// decoupling-queue lookahead beyond the supported maximum). Config
+	// faults are deterministic — retrying on a lower technique rung
+	// cannot fix them — so the degradation ladder never recovers them.
+	ErrConfig = errors.New("invalid configuration")
 )
 
 // Fault is a classified simulation fault with diagnostic context. The
@@ -145,6 +151,12 @@ func WorkerPanic(op string, recovered any, stack []byte) *Fault {
 // Unsupported builds an ErrUnsupported fault.
 func Unsupported(op string, cause error) *Fault {
 	return &Fault{Kind: ErrUnsupported, Op: op, Err: cause}
+}
+
+// Config builds an ErrConfig fault for a configuration the simulator
+// rejects up front.
+func Config(op string, cause error) *Fault {
+	return &Fault{Kind: ErrConfig, Op: op, Err: cause}
 }
 
 // Degraded wraps the fault that forced a ladder descent so the result's

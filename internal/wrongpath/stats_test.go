@@ -1,0 +1,34 @@
+package wrongpath
+
+import "testing"
+
+// TestStatsZeroDenominators audits every ratio helper against its
+// zero-denominator case: a policy that never ran (or never converged)
+// must report clean zeros, not NaN/Inf that would poison report means.
+func TestStatsZeroDenominators(t *testing.T) {
+	cases := []struct {
+		name  string
+		stats Stats
+		fn    func(*Stats) float64
+		want  float64
+	}{
+		{"ConvFrac/empty", Stats{}, (*Stats).ConvFrac, 0},
+		{"ConvFrac/detected-without-checked", Stats{ConvDetected: 3}, (*Stats).ConvFrac, 0},
+		{"ConvDist/empty", Stats{}, (*Stats).ConvDist, 0},
+		{"ConvDist/sum-without-detected", Stats{ConvDistSum: 40}, (*Stats).ConvDist, 0},
+		{"AddrRecoverFrac/empty", Stats{}, (*Stats).AddrRecoverFrac, 0},
+		{"AddrRecoverFrac/recovered-without-memops", Stats{WPAddrRecovered: 7}, (*Stats).AddrRecoverFrac, 0},
+		{"MatchLen/empty", Stats{}, (*Stats).MatchLen, 0},
+		{"MatchLen/sum-without-detected", Stats{ConvMatchLenSum: 12}, (*Stats).MatchLen, 0},
+		{"ConvFrac/normal", Stats{ConvChecked: 4, ConvDetected: 3}, (*Stats).ConvFrac, 0.75},
+		{"ConvDist/normal", Stats{ConvDetected: 4, ConvDistSum: 10}, (*Stats).ConvDist, 2.5},
+		{"AddrRecoverFrac/normal", Stats{WPMemOps: 8, WPAddrRecovered: 2}, (*Stats).AddrRecoverFrac, 0.25},
+		{"MatchLen/normal", Stats{ConvDetected: 2, ConvMatchLenSum: 9}, (*Stats).MatchLen, 4.5},
+	}
+	for _, c := range cases {
+		s := c.stats
+		if got := c.fn(&s); got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package repro_test
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+	"repro/internal/workloads/gap"
+	"repro/internal/workloads/specproxy"
+	"repro/internal/wrongpath"
+)
+
+// -obs-bench-out makes BenchmarkObsSweep write its per-technique
+// throughput record to a JSON file when it finishes — the regression
+// artifact `make bench` uploads from CI.
+var obsBenchOut = flag.String("obs-bench-out", "", "write BenchmarkObsSweep per-technique instructions/sec to this JSON file")
+
+// obsBenchRecord is the BENCH_obs.json schema: simulated
+// instructions/sec per wrong-path technique with the full observability
+// stack (metrics registry + trace sink) attached, so regressions in
+// either the simulator or its instrumentation show up here.
+type obsBenchRecord struct {
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	Benchmarks map[string]float64 `json:"instructions_per_sec"`
+}
+
+var obsBench = struct {
+	sync.Mutex
+	perTech map[string]float64
+}{perTech: map[string]float64{}}
+
+// obsSweepWorkloads is the fig1/fig4 cross-section at bench scale: the
+// six GAP kernels plus two SPEC proxies.
+func obsSweepWorkloads() []workloads.Workload {
+	params := gap.Params{N: 1024, Degree: 8, Seed: 42, MaxInsts: 100_000}
+	works := gap.Suite(params)
+	spec := specproxy.IntSuite(specproxy.Params{Scale: 0.02, Seed: 99})
+	return append(works, spec[0], spec[1])
+}
+
+// BenchmarkObsSweep measures end-to-end simulation throughput per
+// technique over the fig1/fig4 workload cross-section with metrics and
+// tracing ENABLED — the observability layer's own overhead is part of
+// what this guards. Run via `make bench`, which writes BENCH_obs.json.
+func BenchmarkObsSweep(b *testing.B) {
+	works := obsSweepWorkloads()
+	for _, kind := range wrongpath.Kinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			reg := obs.NewRegistry()
+			sink := obs.NewTraceSink(io.Discard)
+			defer sink.Close()
+			var insts uint64
+			for i := 0; i < b.N; i++ {
+				for _, w := range works {
+					inst := w.MustBuild()
+					cfg := sim.Default(kind)
+					cfg.MaxInsts = inst.SuggestedMaxInsts
+					cfg.Metrics, cfg.Trace, cfg.ObsLabel = reg, sink, w.Suite+"/"+w.Name
+					res, err := sim.Run(cfg, inst)
+					if err != nil {
+						b.Fatal(err)
+					}
+					insts += res.Core.Instructions
+				}
+			}
+			ips := float64(insts) / b.Elapsed().Seconds()
+			b.ReportMetric(ips/1e6, "Msimins/s")
+			obsBench.Lock()
+			obsBench.perTech[kind.String()] = ips
+			obsBench.Unlock()
+		})
+	}
+	if *obsBenchOut != "" {
+		if err := writeObsBench(*obsBenchOut); err != nil {
+			b.Fatalf("writing %s: %v", *obsBenchOut, err)
+		}
+	}
+}
+
+func writeObsBench(path string) error {
+	obsBench.Lock()
+	defer obsBench.Unlock()
+	data, err := json.MarshalIndent(obsBenchRecord{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: obsBench.perTech,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
