@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race faults check bench bench-all bench-smoke
+.PHONY: build test vet lint lint-fix lint-sarif race faults check bench bench-all bench-smoke
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,15 @@ vet:
 # lint runs the simulator-invariant analyzers (see internal/analysis).
 lint:
 	$(GO) run ./cmd/wplint ./...
+
+# lint-fix applies machine-applicable suggested fixes (idempotent).
+lint-fix:
+	$(GO) run ./cmd/wplint -fix ./...
+
+# lint-sarif renders the findings as SARIF 2.1.0 (CI uploads this to
+# code scanning).
+lint-sarif:
+	$(GO) run ./cmd/wplint -sarif wplint.sarif ./...
 
 race:
 	$(GO) test -race -timeout 15m ./...

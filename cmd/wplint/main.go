@@ -7,9 +7,17 @@
 //	go run ./cmd/wplint ./...
 //	go run ./cmd/wplint ./internal/sim ./internal/core
 //	go run ./cmd/wplint -list
+//	go run ./cmd/wplint -fix ./...
+//	go run ./cmd/wplint -sarif wplint.sarif ./...
+//	go run ./cmd/wplint -baseline .wplint-baseline.json ./...
 //
 // Diagnostics are printed one per line as file:line:col: analyzer:
-// message. Exit status: 0 clean, 1 findings, 2 load/usage error.
+// message. -fix applies every machine-applicable suggested fix in
+// place (idempotent: a second run changes nothing). -sarif writes a
+// SARIF 2.1.0 log for code scanning alongside the normal output.
+// -baseline filters findings through an accept-then-ratchet file;
+// -update-baseline rewrites that file from the current findings.
+// Exit status: 0 clean, 1 findings, 2 load/usage error.
 package main
 
 import (
@@ -23,8 +31,12 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	fix := flag.Bool("fix", false, "apply suggested fixes in place, then re-analyze")
+	sarifOut := flag.String("sarif", "", "write a SARIF 2.1.0 log to this `file` (\"-\" for stdout)")
+	baselinePath := flag.String("baseline", "", "filter findings through this accept-then-ratchet `file`")
+	updateBaseline := flag.Bool("update-baseline", false, "rewrite the -baseline file from the current findings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wplint [-list] [packages]\n\nRuns the simulator-invariant analyzers over the module's packages\n(default ./...). Patterns: a directory, or dir/... for a subtree.\n")
+		fmt.Fprintf(os.Stderr, "usage: wplint [-list] [-fix] [-sarif file] [-baseline file [-update-baseline]] [packages]\n\nRuns the simulator-invariant analyzers over the module's packages\n(default ./...). Patterns: a directory, or dir/... for a subtree.\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -34,6 +46,9 @@ func main() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *updateBaseline && *baselinePath == "" {
+		fatal(fmt.Errorf("-update-baseline requires -baseline"))
 	}
 
 	patterns := flag.Args()
@@ -48,23 +63,95 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pkgs, err := loader.Load(patterns...)
+	diags, err := run(loader, patterns)
 	if err != nil {
 		fatal(err)
 	}
-	diags := analysis.Run(pkgs, analysis.All())
-	for _, d := range diags {
-		// Print module-relative paths: stable across checkouts and
-		// clickable from the repo root.
-		if rel, err := filepath.Rel(loader.ModuleRoot, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
-			d.Pos.Filename = rel
+
+	if *fix {
+		applied, files, err := analysis.ApplyFixes(diags)
+		if err != nil {
+			fatal(err)
 		}
-		fmt.Println(d)
+		if applied > 0 {
+			fmt.Fprintf(os.Stderr, "wplint: applied %d fix(es) to %d file(s)\n", applied, len(files))
+			// Re-analyze from the rewritten sources with a fresh loader
+			// (the old one memoizes parsed packages): remaining output
+			// reflects what -fix could not repair.
+			if loader, err = analysis.NewLoader(wd); err != nil {
+				fatal(err)
+			}
+			if diags, err = run(loader, patterns); err != nil {
+				fatal(err)
+			}
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "wplint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+
+	// Module-relative paths: stable across checkouts, clickable from
+	// the repo root, and the key space the baseline ratchets over.
+	for i := range diags {
+		if rel, err := filepath.Rel(loader.ModuleRoot, diags[i].Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			diags[i].Pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+
+	if *sarifOut != "" {
+		// The SARIF log always carries every finding — code scanning
+		// tracks which ones it has seen; the baseline only gates the
+		// exit status.
+		data, err := analysis.SARIF(diags, analysis.All(), "")
+		if err != nil {
+			fatal(err)
+		}
+		if *sarifOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*sarifOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	failing := diags
+	if *baselinePath != "" {
+		if *updateBaseline {
+			if err := analysis.WriteBaseline(*baselinePath, diags); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wplint: baseline %s updated with %d finding(s)\n", *baselinePath, len(diags))
+			return
+		}
+		base, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		var accepted []analysis.Diagnostic
+		accepted, failing = base.Filter(diags)
+		if len(accepted) > 0 {
+			fmt.Fprintf(os.Stderr, "wplint: %d baselined finding(s) suppressed\n", len(accepted))
+		}
+	}
+
+	// With -sarif -, the SARIF log owns stdout; keep it parseable by
+	// routing the plain-text findings to stderr.
+	findingsOut := os.Stdout
+	if *sarifOut == "-" {
+		findingsOut = os.Stderr
+	}
+	for _, d := range failing {
+		fmt.Fprintln(findingsOut, d)
+	}
+	if len(failing) > 0 {
+		fmt.Fprintf(os.Stderr, "wplint: %d finding(s)\n", len(failing))
 		os.Exit(1)
 	}
+}
+
+// run loads the patterns and applies the full analyzer suite.
+func run(loader *analysis.Loader, patterns []string) ([]analysis.Diagnostic, error) {
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(pkgs, analysis.All()), nil
 }
 
 func fatal(err error) {

@@ -142,6 +142,12 @@ func TestPanicFreeFixture(t *testing.T) {
 	checkWantMarkers(t, "panicfree", got)
 }
 
+func TestWPFlowFixture(t *testing.T) {
+	got := runFixture(t, WPFlow, "wpflow")
+	checkGolden(t, "wpflow", got)
+	checkWantMarkers(t, "wpflow", got)
+}
+
 // TestRepoClean is the acceptance gate: the whole module must pass
 // every analyzer. A regression here means a simulator invariant was
 // violated by a source change.

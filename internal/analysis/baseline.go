@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baseline is wplint's accept-then-ratchet store: a count of known
+// findings keyed by (file, analyzer, message), deliberately ignoring
+// line numbers so unrelated edits that shift a finding up or down the
+// file do not break the build. A run filtered through a baseline fails
+// only on findings beyond the recorded counts — and -update-baseline
+// rewrites the file from the current findings, so the recorded debt can
+// only be paid down, never silently grown.
+type Baseline struct {
+	// Counts maps "file|analyzer|message" to the accepted number of
+	// identical findings.
+	Counts map[string]int `json:"counts"`
+}
+
+// baselineKey builds the ratchet key for one diagnostic; file names
+// must already be module-relative so baselines travel across checkouts.
+func baselineKey(d Diagnostic) string {
+	return d.Pos.Filename + "|" + d.Analyzer + "|" + d.Message
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, so -baseline can be introduced before the file exists.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Counts: map[string]int{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Counts == nil {
+		b.Counts = map[string]int{}
+	}
+	return &b, nil
+}
+
+// WriteBaseline records the diagnostics as the accepted debt.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	b := Baseline{Counts: map[string]int{}}
+	for _, d := range diags {
+		b.Counts[baselineKey(d)]++
+	}
+	// encoding/json sorts map keys, so the file is diff-stable.
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits the diagnostics into the ones the baseline accepts and
+// the ones that must fail the run. Within one key, the first recorded
+// count of findings (in the already-sorted input order) is accepted and
+// any excess is new.
+func (b *Baseline) Filter(diags []Diagnostic) (accepted, fresh []Diagnostic) {
+	used := make(map[string]int)
+	for _, d := range diags {
+		k := baselineKey(d)
+		if used[k] < b.Counts[k] {
+			used[k]++
+			accepted = append(accepted, d)
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return accepted, fresh
+}

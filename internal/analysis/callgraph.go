@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is the package-level static call graph the wpflow taint
+// pass walks: one node per function or method declared in the package,
+// with edges to the same-package functions it (or any function literal
+// inside it) statically calls. Cross-package and dynamic callees are
+// not edges — the taint pass models them through its source / sink /
+// sanitizer tables instead — so the graph stays exact and cheap.
+type CallGraph struct {
+	// Nodes maps every declared function object to its node.
+	Nodes map[*types.Func]*CallNode
+	order []*CallNode
+}
+
+// CallNode is one declared function with its body and outgoing
+// same-package edges.
+type CallNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	File *ast.File
+	// Callees are the same-package functions statically called from the
+	// body, deduplicated, in first-call order.
+	Callees []*types.Func
+}
+
+// BuildCallGraph constructs the call graph of one loaded package.
+func BuildCallGraph(pkg *Package) *CallGraph {
+	g := &CallGraph{Nodes: make(map[*types.Func]*CallNode)}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &CallNode{Fn: fn, Decl: fd, File: f}
+			seen := make(map[*types.Func]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := StaticCallee(pkg.Info, call)
+				if callee == nil || callee.Pkg() != pkg.Types || seen[callee] {
+					return true
+				}
+				seen[callee] = true
+				node.Callees = append(node.Callees, callee)
+				return true
+			})
+			g.Nodes[fn] = node
+			g.order = append(g.order, node)
+		}
+	}
+	g.sortBottomUp()
+	return g
+}
+
+// StaticCallee resolves the function or method a call expression
+// invokes, or nil for builtins, conversions, and calls through
+// function-typed values. Interface method calls resolve to the
+// interface's method object.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			fn, _ := info.Uses[id].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// Order returns the nodes in bottom-up (callee-before-caller) order, so
+// a single forward sweep resolves most summaries; recursion and mutual
+// recursion are handled by the caller iterating to fixpoint.
+func (g *CallGraph) Order() []*CallNode { return g.order }
+
+// sortBottomUp orders nodes by a DFS postorder over same-package edges
+// (back edges from recursion are simply skipped; the summary fixpoint
+// absorbs the imprecision). The traversal starts from nodes in
+// declaration order, so the result is deterministic.
+func (g *CallGraph) sortBottomUp() {
+	var (
+		out     []*CallNode
+		visited = make(map[*types.Func]bool)
+		visit   func(n *CallNode)
+	)
+	visit = func(n *CallNode) {
+		if visited[n.Fn] {
+			return
+		}
+		visited[n.Fn] = true
+		callees := append([]*types.Func(nil), n.Callees...)
+		sort.Slice(callees, func(i, j int) bool { return callees[i].Pos() < callees[j].Pos() })
+		for _, c := range callees {
+			if cn, ok := g.Nodes[c]; ok {
+				visit(cn)
+			}
+		}
+		out = append(out, n)
+	}
+	roots := append([]*CallNode(nil), g.order...)
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Decl.Pos() < roots[j].Decl.Pos() })
+	for _, n := range roots {
+		visit(n)
+	}
+	g.order = out
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies the first SuggestedFix of every diagnostic that
+// carries one, editing the files in place. Edits are grouped per file
+// and applied back-to-front so earlier offsets stay valid; a fix whose
+// edits overlap an already-accepted fix is skipped (the next wplint
+// -fix run picks it up), which makes repeated application converge: a
+// tree with no remaining fixable findings is returned byte-identical.
+//
+// It returns the number of fixes applied and the files rewritten.
+func ApplyFixes(diags []Diagnostic) (applied int, files []string, err error) {
+	type span struct{ off, end int }
+	edits := make(map[string][]TextEdit)
+	taken := make(map[string][]span)
+	overlaps := func(file string, e TextEdit) bool {
+		for _, s := range taken[file] {
+			if e.Offset < s.end && s.off < e.End {
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			continue
+		}
+		fix := d.Fixes[0]
+		ok := true
+		for _, e := range fix.Edits {
+			if e.Offset < 0 || e.End < e.Offset || overlaps(e.Filename, e) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, e := range fix.Edits {
+			edits[e.Filename] = append(edits[e.Filename], e)
+			taken[e.Filename] = append(taken[e.Filename], span{e.Offset, e.End})
+		}
+		applied++
+	}
+	files = make([]string, 0, len(edits))
+	for f := range edits {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		content, rerr := os.ReadFile(f)
+		if rerr != nil {
+			return applied, nil, rerr
+		}
+		es := edits[f]
+		sort.Slice(es, func(i, j int) bool { return es[i].Offset > es[j].Offset })
+		for _, e := range es {
+			if e.End > len(content) {
+				return applied, nil, fmt.Errorf("fix edit out of range in %s: [%d,%d) of %d bytes", f, e.Offset, e.End, len(content))
+			}
+			content = append(content[:e.Offset], append([]byte(e.NewText), content[e.End:]...)...)
+		}
+		if werr := os.WriteFile(f, content, 0o644); werr != nil {
+			return applied, nil, werr
+		}
+	}
+	return applied, files, nil
+}

@@ -1,0 +1,542 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the dataflow half of the wpflow analyzer: the taint
+// domain, per-function summaries, and the flow-insensitive
+// intraprocedural evaluator the interprocedural fixpoint is built from.
+// The source/sink/sanitizer tables and the reporting live in wpflow.go.
+
+// taintMask is a bit set of taint kinds a value may carry.
+type taintMask uint8
+
+const (
+	// taintWP marks wrong-path speculative state: the results of
+	// functional wrong-path emulation and of wrong-path stream
+	// reconstruction, and anything derived from them.
+	taintWP taintMask = 1 << iota
+	// taintWall marks host wall-clock readings.
+	taintWall
+	// taintPanic marks values recovered from worker panics.
+	taintPanic
+
+	taintAll = taintWP | taintWall | taintPanic
+)
+
+// describe names the dominant kind of a mask for diagnostics
+// (wrong-path contamination outranks panic values outranks host time).
+func (m taintMask) describe() string {
+	switch {
+	case m&taintWP != 0:
+		return "wrong-path-tainted"
+	case m&taintPanic != 0:
+		return "recovered-panic-tainted"
+	case m&taintWall != 0:
+		return "host-wall-clock-tainted"
+	default:
+		return "untainted"
+	}
+}
+
+// Summary captures one function's externally visible taint behavior,
+// the unit of wpflow's interprocedural reasoning. Summaries are
+// computed bottom-up over the package call graph and iterated to
+// fixpoint (recursion starts from the optimistic zero summary and only
+// grows, so the iteration is monotone).
+type Summary struct {
+	// Results is the taint its return values may carry when every
+	// argument is untainted — non-zero iff the body reaches a taint
+	// source.
+	Results taintMask
+	// ParamFlows[i] reports that parameter i (receiver first for
+	// methods) may flow into a return value, so a tainted argument
+	// taints the call's results.
+	ParamFlows []bool
+	// ParamSinks[i] is non-nil when parameter i may reach a taint sink
+	// inside the function (or transitively through its callees): a call
+	// passing a tainted argument there is a leak, reported at the call
+	// site.
+	ParamSinks []*paramSink
+}
+
+// paramSink describes the sink a parameter can reach.
+type paramSink struct {
+	// kinds is the set of taint kinds the sink rejects.
+	kinds taintMask
+	// desc names the sink ("correct-path statistic core.Stats.Cycles").
+	desc string
+	// chain is the callee chain from this function down to the sink,
+	// empty for a sink in the function's own body.
+	chain []string
+	// cpu marks a committed-CPU-state sink, exempt inside the caller's
+	// checkpoint/restore window.
+	cpu bool
+}
+
+func (p *paramSink) equal(q *paramSink) bool {
+	if (p == nil) != (q == nil) {
+		return false
+	}
+	if p == nil {
+		return true
+	}
+	if p.kinds != q.kinds || p.desc != q.desc || p.cpu != q.cpu || len(p.chain) != len(q.chain) {
+		return false
+	}
+	for i := range p.chain {
+		if p.chain[i] != q.chain[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Summary) equal(t *Summary) bool {
+	if (s == nil) != (t == nil) {
+		return false
+	}
+	if s == nil {
+		return true
+	}
+	if s.Results != t.Results || len(s.ParamFlows) != len(t.ParamFlows) || len(s.ParamSinks) != len(t.ParamSinks) {
+		return false
+	}
+	for i := range s.ParamFlows {
+		if s.ParamFlows[i] != t.ParamFlows[i] {
+			return false
+		}
+	}
+	for i := range s.ParamSinks {
+		if !s.ParamSinks[i].equal(t.ParamSinks[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sinkHit is one observed taint-to-sink flow.
+type sinkHit struct {
+	pos token.Pos
+	// kinds is the sink's rejected-kind set; mask is the taint actually
+	// involved (their intersection is non-empty).
+	kinds taintMask
+	mask  taintMask
+	desc  string
+	chain []string
+	cpu   bool
+}
+
+// evaluator runs the flow-insensitive taint propagation over one
+// function body: local variables and parameters carry taint masks,
+// stores into struct fields weakly taint the base variable, and call
+// results are resolved through the source/sanitizer tables and the
+// package summaries. Heap round-trips (writing a field, reading it
+// back through another reference) are deliberately out of scope — the
+// decoupling queue is the sanctioned channel for wrong-path records and
+// would otherwise taint every consumer.
+type evaluator struct {
+	w    *wpflow
+	node *CallNode
+	// seeds pre-taints parameters (summary mode); sources enables taint
+	// introduction at source calls (result-summary and report modes).
+	taint   map[types.Object]taintMask
+	sources bool
+
+	results taintMask
+	hits    []sinkHit
+	changed bool
+
+	checkpoints []token.Pos // Checkpoint() call positions
+	restores    []token.Pos // Restore() call positions
+	deferredRes bool
+}
+
+// newEvaluator prepares an evaluation of node's body.
+func newEvaluator(w *wpflow, node *CallNode, seeds map[types.Object]taintMask, sources bool) *evaluator {
+	e := &evaluator{w: w, node: node, taint: make(map[types.Object]taintMask), sources: sources}
+	for obj, m := range seeds {
+		e.taint[obj] = m
+	}
+	e.scanWindows()
+	return e
+}
+
+// scanWindows records the function's Checkpoint/Restore call positions;
+// committed-CPU-state sinks between a checkpoint and a later (or
+// deferred) restore are sanctioned — that is exactly the rollback
+// discipline the checkpoint analyzer enforces.
+func (e *evaluator) scanWindows() {
+	pass := e.w.pass
+	ast.Inspect(e.node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if containsMethodCall(pass, n.Call, "internal/functional", "Restore") {
+				e.deferredRes = true
+				return false
+			}
+		case *ast.CallExpr:
+			if isMethodCall(pass, n, "internal/functional", "Checkpoint") {
+				e.checkpoints = append(e.checkpoints, n.Pos())
+			}
+			if isMethodCall(pass, n, "internal/functional", "Restore") {
+				e.restores = append(e.restores, n.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// inWindow reports whether pos falls inside a checkpoint/restore
+// window.
+func (e *evaluator) inWindow(pos token.Pos) bool {
+	for _, cp := range e.checkpoints {
+		if cp >= pos {
+			continue
+		}
+		if e.deferredRes {
+			return true
+		}
+		for _, r := range e.restores {
+			if r > pos {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// run iterates propagation to fixpoint, then collects sink hits and
+// result taint with the stable variable masks.
+func (e *evaluator) run() {
+	for i := 0; i < 32; i++ {
+		e.changed = false
+		e.propagate()
+		if !e.changed {
+			break
+		}
+	}
+	e.collect()
+}
+
+// mark taints a variable.
+func (e *evaluator) mark(obj types.Object, m taintMask) {
+	if obj == nil || m == 0 {
+		return
+	}
+	if e.taint[obj]&m != m {
+		e.taint[obj] |= m
+		e.changed = true
+	}
+}
+
+// propagate applies every assignment-like transfer once.
+func (e *evaluator) propagate() {
+	info := e.w.pass.Pkg.Info
+	ast.Inspect(e.node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			e.applyAssign(n, false)
+		case *ast.RangeStmt:
+			m := e.exprTaint(n.X)
+			if id, ok := n.Key.(*ast.Ident); ok {
+				e.mark(info.ObjectOf(id), m)
+			}
+			if id, ok := n.Value.(*ast.Ident); ok {
+				e.mark(info.ObjectOf(id), m)
+			}
+		case *ast.TypeSwitchStmt:
+			// switch v := x.(type): each clause's implicit v inherits x.
+			var x ast.Expr
+			switch a := n.Assign.(type) {
+			case *ast.AssignStmt:
+				if len(a.Rhs) == 1 {
+					if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+						x = ta.X
+					}
+				}
+			case *ast.ExprStmt:
+				if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+					x = ta.X
+				}
+			}
+			if x != nil {
+				m := e.exprTaint(x)
+				for _, cc := range n.Body.List {
+					e.mark(info.Implicits[cc.(*ast.CaseClause)], m)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// applyAssign propagates one assignment; in collect mode it also
+// checks field stores against the sink tables.
+func (e *evaluator) applyAssign(as *ast.AssignStmt, check bool) {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		m := e.exprTaint(as.Rhs[0])
+		for _, l := range as.Lhs {
+			e.assignTo(l, m, as.Pos(), check)
+		}
+		return
+	}
+	for i, l := range as.Lhs {
+		var m taintMask
+		if i < len(as.Rhs) {
+			m = e.exprTaint(as.Rhs[i])
+		}
+		e.assignTo(l, m, as.Pos(), check)
+	}
+}
+
+// assignTo records taint flowing into one lvalue. A store into a
+// struct field or element weakly taints the base variable; in check
+// mode, stores into configured sink fields are reported.
+func (e *evaluator) assignTo(lhs ast.Expr, m taintMask, pos token.Pos, check bool) {
+	info := e.w.pass.Pkg.Info
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		e.mark(info.ObjectOf(l), m)
+	case *ast.SelectorExpr:
+		if check && m != 0 {
+			e.checkFieldStore(l, m, pos)
+		}
+		e.taintBase(l.X, m)
+	case *ast.IndexExpr:
+		if sel, ok := ast.Unparen(l.X).(*ast.SelectorExpr); ok && check && m != 0 {
+			e.checkFieldStore(sel, m, pos)
+		}
+		e.taintBase(l.X, m)
+	case *ast.StarExpr:
+		e.taintBase(l.X, m)
+	}
+}
+
+// taintBase walks to the root identifier of an lvalue chain and taints
+// it (weak update: the variable may now carry the stored taint).
+func (e *evaluator) taintBase(x ast.Expr, m taintMask) {
+	if m == 0 {
+		return
+	}
+	for {
+		switch v := ast.Unparen(x).(type) {
+		case *ast.Ident:
+			e.mark(e.w.pass.Pkg.Info.ObjectOf(v), m)
+			return
+		case *ast.SelectorExpr:
+			x = v.X
+		case *ast.IndexExpr:
+			x = v.X
+		case *ast.StarExpr:
+			x = v.X
+		default:
+			return
+		}
+	}
+}
+
+// collect re-walks the body with the converged taint map, recording
+// sink hits (field stores, composite literals, call arguments) and the
+// taint of returned values.
+func (e *evaluator) collect() {
+	ast.Inspect(e.node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			e.applyAssign(n, true)
+		case *ast.CompositeLit:
+			e.checkCompositeLit(n)
+		case *ast.CallExpr:
+			e.checkCallArgs(n)
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				e.results |= e.exprTaint(r)
+			}
+		}
+		return true
+	})
+}
+
+// exprTaint computes the taint mask of one expression.
+func (e *evaluator) exprTaint(x ast.Expr) taintMask {
+	info := e.w.pass.Pkg.Info
+	switch x := x.(type) {
+	case *ast.Ident:
+		if obj := info.ObjectOf(x); obj != nil {
+			return e.taint[obj]
+		}
+		return 0
+	case *ast.ParenExpr:
+		return e.exprTaint(x.X)
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				return 0 // qualified identifier: package-level object
+			}
+		}
+		return e.exprTaint(x.X)
+	case *ast.IndexExpr:
+		return e.exprTaint(x.X)
+	case *ast.SliceExpr:
+		return e.exprTaint(x.X)
+	case *ast.StarExpr:
+		return e.exprTaint(x.X)
+	case *ast.UnaryExpr:
+		return e.exprTaint(x.X)
+	case *ast.BinaryExpr:
+		return e.exprTaint(x.X) | e.exprTaint(x.Y)
+	case *ast.TypeAssertExpr:
+		return e.exprTaint(x.X)
+	case *ast.CompositeLit:
+		var m taintMask
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				m |= e.exprTaint(kv.Value)
+			} else {
+				m |= e.exprTaint(elt)
+			}
+		}
+		return m
+	case *ast.CallExpr:
+		return e.callTaint(x)
+	}
+	return 0
+}
+
+// callTaint resolves the taint of a call's results: conversions and
+// builtins propagate their operands, sources introduce their kind,
+// sanitizers launder, same-package callees answer from their summary,
+// and everything else conservatively propagates the union of its
+// arguments (string formatting, arithmetic helpers and method chains
+// keep taint; constructors of fresh state drop it only via the
+// sanitizer table).
+func (e *evaluator) callTaint(call *ast.CallExpr) taintMask {
+	info := e.w.pass.Pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return e.exprTaint(call.Args[0]) // conversion
+		}
+		return 0
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "recover":
+				if e.sources {
+					return taintPanic
+				}
+				return 0
+			case "append", "copy", "len", "cap", "min", "max":
+				var m taintMask
+				for _, a := range call.Args {
+					m |= e.exprTaint(a)
+				}
+				return m
+			default: // make, new, delete, clear, panic, print, ...
+				return 0
+			}
+		}
+	}
+	argUnion := func() taintMask {
+		var m taintMask
+		for _, a := range e.callArgExprs(call, StaticCallee(info, call)) {
+			m |= e.exprTaint(a)
+		}
+		return m
+	}
+	callee := StaticCallee(info, call)
+	if callee == nil {
+		return argUnion()
+	}
+	if e.w.approved(callee) {
+		return 0
+	}
+	if kind, ok := e.w.sourceOf(callee); ok {
+		m := argUnion()
+		if e.sources {
+			m |= kind
+		}
+		return m
+	}
+	if s, ok := e.w.summaries[callee]; ok {
+		var m taintMask
+		if e.sources {
+			// A callee that reads a source taints our value too; in
+			// param-seed mode only seeded flows count, for clean
+			// attribution.
+			m = s.Results
+		}
+		args := e.callArgExprs(call, callee)
+		for i, a := range args {
+			pi := paramIndexOf(callee, i, len(args))
+			if pi < len(s.ParamFlows) && s.ParamFlows[pi] {
+				m |= e.exprTaint(a)
+			}
+		}
+		return m
+	}
+	return argUnion()
+}
+
+// callArgExprs returns the call's effective argument expressions, with
+// a method call's receiver prepended so indexes align with
+// paramObjects.
+func (e *evaluator) callArgExprs(call *ast.CallExpr, callee *types.Func) []ast.Expr {
+	if callee != nil && callee.Type().(*types.Signature).Recv() != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if s, found := e.w.pass.Pkg.Info.Selections[sel]; found && s.Kind() == types.MethodVal {
+				return append([]ast.Expr{sel.X}, call.Args...)
+			}
+		}
+	}
+	return call.Args
+}
+
+// paramIndexOf maps argument index i (of n total) onto the callee's
+// parameter index, folding extra variadic arguments onto the last
+// parameter.
+func paramIndexOf(callee *types.Func, i, n int) int {
+	sig := callee.Type().(*types.Signature)
+	params := sig.Params().Len()
+	if sig.Recv() != nil {
+		params++
+	}
+	if params == 0 {
+		return 0
+	}
+	if i >= params {
+		return params - 1
+	}
+	return i
+}
+
+// paramObjects lists a declaration's receiver and parameter objects in
+// signature order; unnamed and blank parameters hold nil placeholders
+// to keep indexes aligned.
+func paramObjects(pkg *Package, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	addList := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if len(f.Names) == 0 {
+				out = append(out, nil)
+				continue
+			}
+			for _, nm := range f.Names {
+				if nm.Name == "_" {
+					out = append(out, nil)
+					continue
+				}
+				out = append(out, pkg.Info.Defs[nm])
+			}
+		}
+	}
+	addList(fd.Recv)
+	addList(fd.Type.Params)
+	return out
+}

@@ -1,0 +1,32 @@
+// Package allowscope is a wplint fixture for //wplint:allow directive
+// scoping: stacked directives on one line, directives on package-level
+// declarations, and the loader's blanket exclusion of _test.go files
+// (see allowscope_test.go next to this file, whose violations must
+// never surface).
+package allowscope
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// PkgCounter carries a package-level directive: suppressed.
+var PkgCounter obs.Counter //wplint:allow statpath -- fixture: package-level suppression
+
+// PkgCounterBare is the same declaration without a directive: flagged.
+var PkgCounterBare obs.Counter
+
+// StackedDirectives violates determinism (wall-clock read) and wpflow
+// (wall taint into a reported aggregate) on one line; the two stacked
+// directives suppress both.
+func StackedDirectives(res *sim.Result) {
+	res.FunctionalInsts = uint64(time.Since(time.Time{})) //wplint:allow determinism -- fixture: stacked //wplint:flow -- fixture: stacked
+}
+
+// HalfSuppressed allows only determinism; the wpflow finding on the
+// same line must survive.
+func HalfSuppressed(res *sim.Result) {
+	res.FunctionalInsts = uint64(time.Since(time.Time{})) //wplint:allow determinism -- fixture: deliberate half-suppression
+}

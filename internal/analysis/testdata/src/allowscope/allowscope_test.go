@@ -1,0 +1,19 @@
+// This _test.go file contains deliberate violations of several
+// analyzers. The source loader excludes test files from analysis
+// entirely, so none of these may ever appear in a diagnostic — the
+// allowscope fixture test asserts exactly that.
+package allowscope
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestFileCounter would be a statpath finding in a non-test file.
+var TestFileCounter obs.Counter
+
+// TestFileWall would be a determinism finding in a non-test file.
+func TestFileWall() time.Time {
+	return time.Now()
+}

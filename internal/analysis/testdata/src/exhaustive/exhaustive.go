@@ -5,6 +5,7 @@ package exhaustive
 
 import (
 	"repro/internal/isa"
+	"repro/internal/simerr"
 	"repro/internal/wrongpath"
 )
 
@@ -88,4 +89,114 @@ var UnmarkedPartialList = []wrongpath.Kind{wrongpath.NoWP, wrongpath.Conv}
 // enforced enum set: passes.
 var MarkedNonEnumList = []int{ //wplint:exhaustive
 	1, 2, 3,
+}
+
+// KindAlias is a transparent alias: switches over it are checked
+// against the underlying enforced enum.
+type KindAlias = wrongpath.Kind
+
+// AliasedSwitch misses ConvResolve through the alias: flagged.
+func AliasedSwitch(k KindAlias) bool {
+	switch k { // want: not exhaustive
+	case wrongpath.NoWP, wrongpath.InstRec, wrongpath.Conv, wrongpath.WPEmul:
+		return true
+	}
+	return false
+}
+
+// localKind renames the enforced enum; coverage still applies and is
+// compared by value, so converted constants count.
+type localKind wrongpath.Kind
+
+// RenamedSwitch misses every case but NoWP: flagged.
+func RenamedSwitch(k localKind) bool {
+	switch k { // want: not exhaustive
+	case localKind(wrongpath.NoWP):
+		return true
+	}
+	return false
+}
+
+// RenamedExhaustive covers all constants through conversions: passes.
+func RenamedExhaustive(k localKind) bool {
+	switch k {
+	case localKind(wrongpath.NoWP), localKind(wrongpath.InstRec), localKind(wrongpath.Conv),
+		localKind(wrongpath.ConvResolve), localKind(wrongpath.WPEmul):
+		return true
+	}
+	return false
+}
+
+// SentinelSwitch dispatches on the fault classification but ignores
+// half the taxonomy: flagged.
+func SentinelSwitch(err error) string {
+	switch err { // want: missing ErrConfig, ErrDegraded, ErrTraceCorrupt
+	case simerr.ErrStall:
+		return "stall"
+	case simerr.ErrWorkerPanic:
+		return "panic"
+	case simerr.ErrUnsupported:
+		return "unsupported"
+	}
+	return ""
+}
+
+// SentinelSwitchDefaulted handles the remainder explicitly: passes.
+func SentinelSwitchDefaulted(err error) string {
+	switch err {
+	case simerr.ErrStall:
+		return "stall"
+	default:
+		return "other"
+	}
+}
+
+// SentinelSwitchComplete names every sentinel: passes.
+func SentinelSwitchComplete(err error) bool {
+	switch err {
+	case simerr.ErrTraceCorrupt, simerr.ErrStall, simerr.ErrWorkerPanic:
+		return true
+	case simerr.ErrUnsupported, simerr.ErrDegraded, simerr.ErrConfig:
+		return false
+	}
+	return false
+}
+
+// NonSentinelErrorSwitch compares against a local error only: passes
+// (the sentinel rule keys on the simerr taxonomy, not every error).
+func NonSentinelErrorSwitch(err, sentinel error) bool {
+	switch err {
+	case sentinel:
+		return true
+	}
+	return false
+}
+
+// FaultTypeSwitch names a fault type with no default: unknown fault
+// classes would be silently dropped. Flagged.
+func FaultTypeSwitch(err error) uint64 {
+	switch f := err.(type) { // want: type switch over simerr fault types has no default
+	case *simerr.Fault:
+		return f.PC
+	}
+	return 0
+}
+
+// FaultTypeSwitchDefaulted declares the open-world arm: passes.
+func FaultTypeSwitchDefaulted(err error) bool {
+	switch err.(type) {
+	case *simerr.Fault:
+		return true
+	default:
+		return false
+	}
+}
+
+// PlainTypeSwitch never names a fault type: passes.
+func PlainTypeSwitch(x any) bool {
+	switch x.(type) {
+	case int:
+		return true
+	}
+	return false
 }

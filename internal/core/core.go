@@ -353,7 +353,7 @@ func (c *Core) fetch(pc uint64, wrongPath bool) uint64 {
 			// The front end stalls for the miss; the hit pipeline is
 			// otherwise hidden.
 			if c.obs != nil {
-				c.obs.FetchStall(pc, c.fetchCycle, lat-c.l1iHitLat)
+				c.obs.FetchStall(pc, c.fetchCycle, lat-c.l1iHitLat, wrongPath)
 			}
 			c.fetchCycle += lat - c.l1iHitLat
 			c.fetchedInCycle = 0

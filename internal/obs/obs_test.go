@@ -50,7 +50,7 @@ func TestNilHandlesAreInert(t *testing.T) {
 	}
 
 	var v *View
-	v.FetchStall(1, 2, 3)
+	v.FetchStall(1, 2, 3, false)
 	v.Mispredict(1, 2, 3, 4, 5)
 	v.Convergence(1, 2, 3)
 	v.Serialize(1, 2)

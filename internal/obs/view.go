@@ -70,11 +70,19 @@ func NewView(reg *Registry, sink *TraceSink, workload, technique string) *View {
 
 // FetchStall records a front-end stall on an instruction-cache miss:
 // dur cycles beyond the hidden hit latency, starting at cycle ts.
-func (v *View) FetchStall(pc, ts, dur uint64) {
+// wrongPath tags stalls charged while fetching down a wrong path, so
+// speculative fetch activity never masquerades as correct-path timing
+// in the trace (the wpflow analyzer counts this tagged publish among
+// the approved wrong-path crossing points).
+func (v *View) FetchStall(pc, ts, dur uint64, wrongPath bool) {
 	if v == nil {
 		return
 	}
-	v.track.Span("fetch-stall", ts, dur, Arg{"pc", pc})
+	wp := uint64(0)
+	if wrongPath {
+		wp = 1
+	}
+	v.track.Span("fetch-stall", ts, dur, Arg{"pc", pc}, Arg{"wrong_path", wp})
 }
 
 // Mispredict records one misprediction's speculation window: the span
