@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-fix lint-sarif race faults check bench bench-all bench-smoke
+.PHONY: build test vet lint lint-fix lint-sarif race faults check bench bench-diff bench-all bench-smoke
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,14 @@ check: build vet lint race faults
 bench:
 	$(GO) test -run '^$$' -bench ObsSweep -benchtime 2x -obs-bench-out=BENCH_obs.json .
 	cat BENCH_obs.json
+	$(GO) test -run '^$$' -bench HotPath -benchtime 2x -hotpath-bench-out=BENCH_hotpath.json .
+	cat BENCH_hotpath.json
+
+# bench-diff compares the hot-path record against the committed
+# pre-refactor baseline, failing if any technique regressed by more
+# than 10% (see cmd/benchdiff).
+bench-diff:
+	$(GO) run ./cmd/benchdiff -fail-below 10 BENCH_hotpath_baseline.json BENCH_hotpath.json
 
 # bench-all runs every benchmark in the module (slow; not a CI gate).
 bench-all:

@@ -1,0 +1,101 @@
+// Command benchdiff compares two throughput records produced by the
+// benchmark suites (BENCH_hotpath.json, BENCH_obs.json): it prints a
+// per-technique old/new/delta table and, with -fail-below, exits
+// non-zero when any technique regressed by more than the given percent
+// — the CI hook for holding a hot-path speedup once it has been won.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//	benchdiff -fail-below 10 BENCH_hotpath_baseline.json BENCH_hotpath.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// record is the shared shape of the bench JSON artifacts; fields the
+// two schemas do not share are ignored.
+type record struct {
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	Benchmarks map[string]float64 `json:"instructions_per_sec"`
+}
+
+func main() {
+	failBelow := flag.Float64("fail-below", 0,
+		"exit 1 if any shared technique is slower than OLD by more than this percent (0 = report only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-fail-below PCT] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRec, err := load(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	newRec, err := load(flag.Arg(1))
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	keys := make([]string, 0, len(oldRec.Benchmarks))
+	for k := range oldRec.Benchmarks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	fmt.Printf("%-12s %14s %14s %9s\n", "technique", "old ins/s", "new ins/s", "delta")
+	failed := false
+	for _, k := range keys {
+		o := oldRec.Benchmarks[k]
+		n, ok := newRec.Benchmarks[k]
+		if !ok {
+			fmt.Printf("%-12s %14.0f %14s %9s\n", k, o, "-", "gone")
+			continue
+		}
+		delta := 0.0
+		if o > 0 {
+			delta = 100 * (n - o) / o
+		}
+		mark := ""
+		if *failBelow > 0 && delta < -*failBelow {
+			mark = "  REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-12s %14.0f %14.0f %+8.1f%%%s\n", k, o, n, delta, mark)
+	}
+	for k, n := range newRec.Benchmarks {
+		if _, ok := oldRec.Benchmarks[k]; !ok {
+			fmt.Printf("%-12s %14s %14.0f %9s\n", k, "-", n, "new")
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.1f%% detected\n", *failBelow)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no instructions_per_sec entries", path)
+	}
+	return &r, nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

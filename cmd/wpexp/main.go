@@ -35,6 +35,7 @@ func main() {
 		degree   = flag.Int("degree", 0, "GAP graph degree (0 = default)")
 		scale    = flag.Float64("scale", 0, "SPEC-proxy scale (0 = default)")
 		quick    = flag.Bool("quick", false, "use test-scale inputs")
+		batch    = flag.Int("batch", 0, "decoupling-queue lane size (0 = default, 1 = per-instruction; report text identical at any size)")
 		verbose  = flag.Bool("v", false, "print one line per simulation run")
 		jobs     = flag.Int("jobs", 1, "batch worker count for independent simulations (0 = one per host core)")
 		benchOut = flag.String("bench-out", "", "write a JSON timing record for the run to this file")
@@ -46,7 +47,7 @@ func main() {
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
-	opt := experiments.Options{Out: os.Stdout}
+	opt := experiments.Options{Out: os.Stdout, Batch: *batch}
 	if *quick {
 		opt.GAP = gap.TestParams()
 		opt.Spec = specproxy.TestParams()

@@ -42,6 +42,7 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "input seed (0 = default)")
 		scale    = flag.Float64("scale", 0, "SPEC-proxy scale factor (0 = default)")
 		rob      = flag.Int("rob", 0, "ROB size override")
+		batch    = flag.Int("batch", 0, "decoupling-queue lane size (0 = default, 1 = per-instruction; results identical at any size)")
 		memLat   = flag.Int("mem-latency", 0, "memory latency override (cycles)")
 		showCfg  = flag.Bool("config", false, "print the core configuration and exit")
 		list     = flag.Bool("list", false, "list available benchmarks and exit")
@@ -57,6 +58,7 @@ func main() {
 	if *rob > 0 {
 		cfg.ROBSize = *rob
 	}
+	cfg.Batch = *batch
 	if *memLat > 0 {
 		cfg.Hierarchy.MemLatency = *memLat
 	}

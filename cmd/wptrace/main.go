@@ -42,6 +42,7 @@ func main() {
 		wp       = flag.String("wp", "conv", "wrong-path technique (replay mode): "+strings.Join(wrongpath.Names(), ", ")+", or all; wpemul unsupported")
 		jobs     = flag.Int("jobs", 1, "-wp all worker count (0 = one per host core)")
 		maxInsts = flag.Uint64("max-insts", 0, "instruction cap (0 = workload default)")
+		batch    = flag.Int("batch", 0, "decoupling-queue lane size for replay (0 = default, 1 = per-instruction; results identical at any size)")
 		watchdog = flag.Duration("watchdog", 0, "stall-watchdog budget for replay (0 = disabled)")
 		degrade  = flag.Bool("degrade", false, "replay mode: degrade one technique rung down on a recoverable fault; keep the valid prefix of a corrupt trace")
 		retries  = flag.Int("max-retries", 2, "ladder descents allowed (with -degrade)")
@@ -115,6 +116,7 @@ func main() {
 		}
 		cfg := sim.Default(kind)
 		cfg.MaxInsts = *maxInsts
+		cfg.Core.Batch = *batch
 		cfg.Watchdog = *watchdog
 		cfg.Metrics, cfg.Trace, cfg.ObsLabel = metrics, tsink, "trace:"+*replay
 		var res *sim.Result

@@ -1,0 +1,102 @@
+package repro_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads/gap"
+	"repro/internal/wrongpath"
+)
+
+// -hotpath-bench-out makes BenchmarkHotPath write its per-technique
+// throughput record to a JSON file when it finishes — the regression
+// artifact `make bench` uploads from CI and `make bench-diff` compares.
+var hotpathBenchOut = flag.String("hotpath-bench-out", "",
+	"write BenchmarkHotPath per-technique instructions/sec to this JSON file")
+
+// hotpathRecord is the BENCH_hotpath.json schema: end-to-end simulated
+// instructions/sec per wrong-path technique with observability DISABLED
+// — the pure hot path (functional frontend → decoupling queue → core)
+// that the batched-lane refactor optimizes. Compare two records with
+// `make bench-diff` (cmd/benchdiff).
+type hotpathRecord struct {
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	Workload   string             `json:"workload"`
+	MaxInsts   uint64             `json:"max_insts"`
+	Benchmarks map[string]float64 `json:"instructions_per_sec"`
+}
+
+var hotpathBench = struct {
+	sync.Mutex
+	perTech map[string]float64
+}{perTech: map[string]float64{}}
+
+// hotpathParams is the hot-path bench input: one branchy GAP kernel at
+// a scale where one run is O(100 ms), so per-iteration noise stays low
+// while `-benchtime 3x` finishes quickly.
+func hotpathParams() gap.Params {
+	return gap.Params{N: 4096, Degree: 8, Seed: 42, MaxInsts: 400_000}
+}
+
+// BenchmarkHotPath measures uninstrumented end-to-end simulation
+// throughput per technique. Workload construction runs outside the
+// timer: the metric is simulator speed, the paper's headline currency,
+// not graph-generation speed. Run via `make bench`, which writes
+// BENCH_hotpath.json.
+func BenchmarkHotPath(b *testing.B) {
+	w := gap.BFS(hotpathParams())
+	for _, kind := range wrongpath.Kinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var insts uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				inst := w.MustBuild()
+				b.StartTimer()
+				cfg := sim.Default(kind)
+				cfg.MaxInsts = inst.SuggestedMaxInsts
+				res, err := sim.Run(cfg, inst)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+				insts += res.Core.Instructions
+			}
+			ips := float64(insts) / b.Elapsed().Seconds()
+			b.ReportMetric(ips/1e6, "Msimins/s")
+			hotpathBench.Lock()
+			hotpathBench.perTech[kind.String()] = ips
+			hotpathBench.Unlock()
+		})
+	}
+	if *hotpathBenchOut != "" {
+		if err := writeHotpathBench(*hotpathBenchOut); err != nil {
+			b.Fatalf("writing %s: %v", *hotpathBenchOut, err)
+		}
+	}
+}
+
+func writeHotpathBench(path string) error {
+	hotpathBench.Lock()
+	defer hotpathBench.Unlock()
+	p := hotpathParams()
+	data, err := json.MarshalIndent(hotpathRecord{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Workload:   "gap/bfs",
+		MaxInsts:   p.MaxInsts,
+		Benchmarks: hotpathBench.perTech,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -62,3 +62,37 @@ func RegistryHandles(r *obs.Registry) uint64 {
 	r.Histogram("h").Observe(4)
 	return c.Value()
 }
+
+// BatchBoundaryPublish models the batched hot loop's publication
+// discipline introduced with queue lanes: the obs handle check is
+// hoisted to the lane boundary and the handle comes from a registry —
+// the hoisted pattern passes. Split counters inside the drain loop
+// must still go through their accessors; a raw bump per lane record is
+// flagged exactly like its per-instruction ancestor.
+func BatchBoundaryPublish(r *obs.Registry, s *core.Stats, lane []uint64) {
+	occ := r.Histogram("queue_occupancy")
+	if obsOn := occ != nil; obsOn {
+		occ.Observe(uint64(len(lane))) // boundary publish: passes
+	}
+	for range lane {
+		s.WPExecuted++ // want: direct increment
+	}
+}
+
+// BatchScratchHandle mints a per-batch scratch histogram instead of
+// drawing it from the registry: flagged even at a batch boundary — a
+// hand-made handle never reaches the snapshot no matter how rarely it
+// is touched.
+func BatchScratchHandle(lane []uint64) {
+	depth := obs.Histogram{} // want: direct construction of obs.Histogram
+	for i := range lane {
+		depth.Observe(uint64(i))
+	}
+}
+
+// NilHandleBundleDetach models the disabled-obs fix: examining handles
+// for nil and detaching the bundle reads, never mints or increments —
+// passes.
+func NilHandleBundleDetach(qo *obs.QueueObs) bool {
+	return qo != nil && (qo.Occupancy != nil || qo.PeekDepth != nil)
+}

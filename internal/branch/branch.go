@@ -242,7 +242,17 @@ func (u *Unit) PopRAS() (target uint64, ok bool) {
 
 // RASSnapshot copies the RAS state for speculative wrong-path walks.
 func (u *Unit) RASSnapshot() RAS {
-	return RAS{stack: append([]uint64(nil), u.ras...), top: u.rasTop}
+	var r RAS
+	u.SnapshotRASInto(&r)
+	return r
+}
+
+// SnapshotRASInto copies the RAS state into r, reusing r's backing
+// array when it is large enough — the allocation-free form callers on
+// the per-mispredict path use with a pooled scratch RAS.
+func (u *Unit) SnapshotRASInto(r *RAS) {
+	r.stack = append(r.stack[:0], u.ras...)
+	r.top = u.rasTop
 }
 
 // RAS is a standalone return-address stack used as scratch state during

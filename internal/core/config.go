@@ -66,6 +66,14 @@ type Config struct {
 	// StoreQueueSize bounds the store-to-load forwarding window.
 	StoreQueueSize int
 
+	// Batch is the decoupling-queue lane size: how many queued records
+	// the core pops per PopBatch call. 0 selects DefaultBatch; 1
+	// reproduces per-instruction consumption. The simulated results are
+	// bit-identical at every size (the queue's refill discipline pulls
+	// exactly as a per-record consumer would); only host throughput
+	// changes. Negative is invalid.
+	Batch int
+
 	// FUs maps instruction classes to functional units. Jump classes
 	// fall back to the branch unit; loads/stores use their ports with
 	// latency from the memory hierarchy.
@@ -119,6 +127,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: negative pipeline depth/penalty")
 	case c.StoreQueueSize <= 0:
 		return fmt.Errorf("core: non-positive store queue size")
+	case c.Batch < 0:
+		return fmt.Errorf("core: negative batch lane size")
 	}
 	for _, cl := range []isa.Class{
 		isa.ClassALU, isa.ClassMul, isa.ClassDiv, isa.ClassFPAdd,
@@ -157,6 +167,19 @@ func (c Config) Validate() error {
 // WPMaxLen returns the wrong-path length cap: ROB size plus front-end
 // buffers.
 func (c Config) WPMaxLen() int { return c.ROBSize + c.FrontendBuffer }
+
+// DefaultBatch is the lane size used when Config.Batch is 0: large
+// enough to amortize the per-batch queue bookkeeping, small enough
+// that the lane stays a fraction of the queue's lookahead.
+const DefaultBatch = 64
+
+// batch returns the effective lane size.
+func (c Config) batch() int {
+	if c.Batch <= 0 {
+		return DefaultBatch
+	}
+	return c.Batch
+}
 
 // fuClass maps an instruction class to the class whose functional units
 // execute it.

@@ -146,6 +146,16 @@ type Core struct {
 	wpRing       []uint64
 	dispSnapshot []uint64
 
+	// lane is the batched consumption buffer: PopBatch fills it, the run
+	// loop walks it record by record. lane[lanePos] is the record being
+	// processed; lane[lanePos+1:laneN] are already-popped future records
+	// that peekFuture/windowFuture serve before falling through to the
+	// queue — which keeps the future every policy sees identical to
+	// per-instruction consumption.
+	lane    []trace.DynInst
+	laneN   int
+	lanePos int
+
 	// obs is the run's instrumentation view (nil when disabled; every
 	// hook below it is a no-op behind one nil check).
 	obs *obs.View
@@ -175,6 +185,7 @@ func New(cfg Config, q *queue.Queue, policy wrongpath.Policy) (*Core, error) {
 		issuePorts:   make([]uint64, cfg.IssueWidth),
 		storeQ:       make([]sqEntry, cfg.StoreQueueSize),
 		wpRing:       make([]uint64, cfg.ROBSize),
+		lane:         make([]trace.DynInst, cfg.batch()),
 	}
 	for cl, fu := range cfg.FUs {
 		c.fuFree[cl] = make([]uint64, fu.Count)
@@ -184,18 +195,49 @@ func New(cfg Config, q *queue.Queue, policy wrongpath.Policy) (*Core, error) {
 	c.ctx = wrongpath.Context{
 		Code:    c.code,
 		Pred:    c.bp,
-		Peek:    func(i int) (trace.DynInst, bool) { return q.Peek(i) },
+		Peek:    c.peekFuture,
+		Window:  c.windowFuture,
 		ROBSize: cfg.ROBSize,
 		MaxLen:  cfg.WPMaxLen(),
 	}
 	return c, nil
 }
 
+// peekFuture returns the i-th future correct-path record: the lane
+// remainder first, then the queue. Because PopBatch's refill keeps the
+// queue in the per-instruction steady state, the combined view — both
+// the records and the hit/miss boundary — is exactly what a
+// per-instruction consumer's q.Peek(i) would see.
+func (c *Core) peekFuture(i int) (trace.DynInst, bool) {
+	r := c.laneN - c.lanePos - 1
+	if i < r {
+		return c.lane[c.lanePos+1+i], true
+	}
+	return c.q.Peek(i - r)
+}
+
+// windowFuture is the windowed form: a contiguous read-only view of
+// the future starting at i, at most max records, possibly shorter
+// (callers re-request at i+len). Same combined view as peekFuture.
+func (c *Core) windowFuture(i, max int) []trace.DynInst {
+	r := c.laneN - c.lanePos - 1
+	if i < r {
+		w := c.lane[c.lanePos+1+i : c.laneN]
+		if len(w) > max {
+			w = w[:max]
+		}
+		return w
+	}
+	return c.q.PeekWindow(i-r, max)
+}
+
 // SetObs attaches a run's instrumentation view to the core and its
-// decoupling queue; nil detaches both.
+// decoupling queue; nil detaches both. A view whose queue bundle has no
+// live handles (trace-only runs) leaves the queue unobserved, so those
+// runs pay no per-pop hook dispatch at all.
 func (c *Core) SetObs(v *obs.View) {
 	c.obs = v
-	if v == nil {
+	if v == nil || !v.Queue.Enabled() {
 		c.q.SetObs(nil)
 		return
 	}
@@ -232,88 +274,121 @@ func (c *Core) Run(maxInsts uint64) Stats {
 // paper's SimPoint samples), then runs the detailed simulation for
 // maxInsts instructions.
 func (c *Core) RunWarmup(warmup, maxInsts uint64) Stats {
-	for consumed := uint64(0); consumed < warmup; consumed++ {
-		di, ok := c.q.Pop()
-		if !ok {
+	lane := c.lane
+	// Warmup phase: batched functional state-warming, stopping at the
+	// instruction budget, program exit, or stream end — the same points
+	// a per-record loop stops at (PopBatch never crosses an Exit).
+warmLoop:
+	for consumed := uint64(0); consumed < warmup; {
+		dst := lane
+		if room := warmup - consumed; room < uint64(len(dst)) {
+			dst = dst[:room]
+		}
+		n := c.q.PopBatch(dst)
+		if n == 0 {
 			break
 		}
-		c.warm(&di)
-		if di.Exit {
-			break
+		consumed += uint64(n)
+		for j := 0; j < n; j++ {
+			di := &dst[j]
+			m := c.code.InsertGet(di.PC, &di.In)
+			c.warm(di, m)
+			if di.Exit {
+				break warmLoop
+			}
 		}
 	}
 	if warmup > 0 {
 		c.hier.ResetStats()
 	}
-	for {
-		if maxInsts > 0 && c.stats.Instructions >= maxInsts {
-			break
-		}
-		di, ok := c.q.Pop()
-		if !ok {
-			break
-		}
-		c.code.Insert(di.PC, di.In)
-		done, commit, pred := c.stepCorrect(&di)
-		c.stats.Instructions++
-		if c.obs != nil && c.stats.Instructions&1023 == 1 {
-			// Queue-occupancy counter series, sampled every 1024 insts.
-			c.obs.QueueDepth(c.lastCommit, c.q.Len())
-		}
 
-		isControl := di.In.Op.IsControl()
-		if isControl {
-			c.recordBranch(&di, pred)
-		}
-		switch {
-		case isControl && pred.Mispredicted:
-			c.stats.Mispredicts++
-			resolve := done
-			wpStart := c.fetchCycle
-			wpLen, wpFetched := c.simulateWrongPath(&di, pred.Target, resolve)
-			if c.obs != nil {
-				var dur uint64
-				if resolve > wpStart {
-					dur = resolve - wpStart
-				}
-				c.obs.Mispredict(di.PC, wpStart, dur, wpLen, wpFetched)
+	// Main loop: pop a lane, push each record through the pipeline. The
+	// obs enablement check is hoisted to the batch boundary; disabled
+	// runs pay no per-instruction observability dispatch.
+mainLoop:
+	for {
+		dst := lane
+		if maxInsts > 0 {
+			if c.stats.Instructions >= maxInsts {
+				break
 			}
-			c.redirectFetch(resolve + uint64(c.cfg.RedirectPenalty))
-		case isControl && di.Taken:
-			// Correctly predicted taken: the fetch group ends; the next
-			// group starts at the target one cycle later.
-			c.breakFetchGroup()
-		case di.In.Op == isa.OpEcall:
-			c.stats.Serializations++
-			if c.obs != nil {
-				c.obs.Serialize(di.PC, commit)
+			if rem := maxInsts - c.stats.Instructions; rem < uint64(len(dst)) {
+				dst = dst[:rem]
 			}
-			c.redirectFetch(commit + uint64(c.cfg.RedirectPenalty))
 		}
-		if di.Exit {
+		n := c.q.PopBatch(dst)
+		if n == 0 {
 			break
 		}
+		c.laneN = n
+		obsOn := c.obs != nil
+		for j := 0; j < n; j++ {
+			c.lanePos = j
+			di := &c.lane[j]
+			m := c.code.InsertGet(di.PC, &di.In)
+			done, commit, pred := c.stepCorrect(di, m)
+			c.stats.Instructions++
+			if obsOn && c.stats.Instructions&1023 == 1 {
+				// Queue-occupancy counter series, sampled every 1024 insts.
+				c.obs.QueueDepth(c.lastCommit, c.q.Len())
+			}
+
+			isControl := m.IsControl()
+			if isControl {
+				c.recordBranch(di, pred)
+			}
+			switch {
+			case isControl && pred.Mispredicted:
+				c.stats.Mispredicts++
+				resolve := done
+				wpStart := c.fetchCycle
+				wpLen, wpFetched := c.simulateWrongPath(di, pred.Target, resolve)
+				if obsOn {
+					var dur uint64
+					if resolve > wpStart {
+						dur = resolve - wpStart
+					}
+					c.obs.Mispredict(di.PC, wpStart, dur, wpLen, wpFetched)
+				}
+				c.redirectFetch(resolve + uint64(c.cfg.RedirectPenalty))
+			case isControl && di.Taken:
+				// Correctly predicted taken: the fetch group ends; the next
+				// group starts at the target one cycle later.
+				c.breakFetchGroup()
+			case m.IsEcall():
+				c.stats.Serializations++
+				if obsOn {
+					c.obs.Serialize(di.PC, commit)
+				}
+				c.redirectFetch(commit + uint64(c.cfg.RedirectPenalty))
+			}
+			if di.Exit {
+				break mainLoop
+			}
+		}
+		c.laneN, c.lanePos = 0, 0
 	}
+	c.laneN, c.lanePos = 0, 0
 	c.stats.Cycles = c.lastCommit
 	return c.stats
 }
 
 // warm pushes one instruction's state effects (caches, TLBs, predictor,
-// code cache) without any timing accounting.
-func (c *Core) warm(di *trace.DynInst) {
-	c.code.Insert(di.PC, di.In)
+// code cache) without any timing accounting. The caller has already
+// inserted the record into the code cache; m is its decode record.
+func (c *Core) warm(di *trace.DynInst, m *codecache.Meta) {
 	line := di.PC &^ c.lineMask
 	if line != c.curFetchLine {
 		c.hier.AccessI(di.PC, 0, false)
 		c.curFetchLine = line
 	}
-	if di.In.Op.IsControl() {
+	if m.IsControl() {
 		c.bp.PredictAndUpdate(di.PC, di.In, di.Taken, di.NextPC)
 	}
 	if di.HasAddr {
-		if di.In.Op.IsLoad() {
+		if m.IsLoad() {
 			c.hier.Load(di.MemAddr, 0, false)
-		} else if di.In.Op.IsStore() {
+		} else if m.IsStore() {
 			c.hier.Store(di.MemAddr, 0, false)
 		}
 	}
@@ -380,10 +455,10 @@ func (c *Core) redirectFetch(cycle uint64) {
 
 // stepCorrect pushes one correct-path instruction through the pipeline
 // and returns its execution-complete and commit cycles plus the branch
-// prediction verdict.
-func (c *Core) stepCorrect(di *trace.DynInst) (done, commit uint64, pred branch.Prediction) {
+// prediction verdict. m is the instruction's precomputed decode record.
+func (c *Core) stepCorrect(di *trace.DynInst, m *codecache.Meta) (done, commit uint64, pred branch.Prediction) {
 	fetchAt := c.fetch(di.PC, false)
-	if di.In.Op.IsControl() {
+	if m.IsControl() {
 		pred = c.bp.PredictAndUpdate(di.PC, di.In, di.Taken, di.NextPC)
 	}
 
@@ -392,7 +467,7 @@ func (c *Core) stepCorrect(di *trace.DynInst) (done, commit uint64, pred branch.
 	disp = maxU(disp, c.lastDispatch)
 	disp = maxU(disp, c.dispRing[c.dispIdx]+1)
 	disp = maxU(disp, c.robRing[c.robIdx]+1)
-	if di.In.Op == isa.OpEcall {
+	if m.IsEcall() {
 		// Serializing: wait for every older instruction to commit.
 		disp = maxU(disp, c.lastCommit+1)
 	}
@@ -400,7 +475,7 @@ func (c *Core) stepCorrect(di *trace.DynInst) (done, commit uint64, pred branch.
 	c.dispRing[c.dispIdx] = disp
 	c.dispIdx = (c.dispIdx + 1) % c.cfg.DispatchWidth
 
-	done = c.issueAndExecute(di, disp, false, 0)
+	done = c.issueAndExecute(di, m, disp, false, 0)
 
 	// Commit: in order, width-limited, one cycle after completion.
 	commit = maxU(done+1, c.lastCommit)
@@ -411,10 +486,10 @@ func (c *Core) stepCorrect(di *trace.DynInst) (done, commit uint64, pred branch.
 	c.robRing[c.robIdx] = commit
 	c.robIdx = (c.robIdx + 1) % c.cfg.ROBSize
 
-	if di.In.Op.IsStore() && di.HasAddr {
+	if m.IsStore() && di.HasAddr {
 		// Committed stores drain to the cache off the critical path.
 		c.hier.Store(di.MemAddr, commit, false)
-		c.pushStore(di.MemAddr, di.In.Op.MemBytes(), done)
+		c.pushStore(di.MemAddr, int(m.MemBytes), done)
 	}
 	return done, commit, pred
 }
@@ -424,16 +499,15 @@ func (c *Core) stepCorrect(di *trace.DynInst) (done, commit uint64, pred branch.
 // When resolve is non-zero (wrong-path mode) and the instruction cannot
 // start executing before resolve, it is squashed instead: no resources
 // are consumed and the returned cycle is resolve itself.
-func (c *Core) issueAndExecute(di *trace.DynInst, disp uint64, wrongPath bool, resolve uint64) uint64 {
+func (c *Core) issueAndExecute(di *trace.DynInst, m *codecache.Meta, disp uint64, wrongPath bool, resolve uint64) uint64 {
 	// Nops consume front-end and ROB slots only.
-	if di.In.Op == isa.OpNop {
+	if m.IsNop() {
 		return disp
 	}
 
 	ready := disp
-	var srcs [3]isa.Reg
-	for _, r := range di.In.Sources(srcs[:0]) {
-		ready = maxU(ready, c.regReady[r])
+	for s := uint8(0); s < m.NSrcs; s++ {
+		ready = maxU(ready, c.regReady[m.Srcs[s]])
 	}
 
 	// Issue port.
@@ -441,7 +515,7 @@ func (c *Core) issueAndExecute(di *trace.DynInst, disp uint64, wrongPath bool, r
 	issue := maxU(ready, c.issuePorts[pi])
 
 	// Functional unit.
-	cl := fuClass(di.In.Op.Class())
+	cl := fuClass(m.Class)
 	units := c.fuFree[cl]
 	ui := minIndex(units)
 	start := maxU(issue, units[ui])
@@ -455,9 +529,9 @@ func (c *Core) issueAndExecute(di *trace.DynInst, disp uint64, wrongPath bool, r
 	c.issuePorts[pi] = issue + 1
 	var lat uint64
 	switch {
-	case di.In.Op.IsLoad():
-		lat = c.loadLatency(di, start, wrongPath)
-	case di.In.Op == isa.OpEcall:
+	case m.IsLoad():
+		lat = c.loadLatency(di, m, start, wrongPath)
+	case m.IsEcall():
 		lat = 5
 	default:
 		lat = c.fuLat[cl]
@@ -469,8 +543,8 @@ func (c *Core) issueAndExecute(di *trace.DynInst, disp uint64, wrongPath bool, r
 	}
 
 	done := start + lat
-	if rd, ok := di.In.Dest(); ok {
-		c.regReady[rd] = done
+	if m.HasDst {
+		c.regReady[m.Dst] = done
 	}
 	if wrongPath {
 		c.stats.noteWPExecuted(di.In.Op, di.HasAddr)
@@ -481,13 +555,13 @@ func (c *Core) issueAndExecute(di *trace.DynInst, disp uint64, wrongPath bool, r
 // loadLatency returns a load's latency: forwarded from the store queue,
 // an assumed L1 hit when the address is unknown (instruction
 // reconstruction), or a real hierarchy access.
-func (c *Core) loadLatency(di *trace.DynInst, start uint64, wrongPath bool) uint64 {
+func (c *Core) loadLatency(di *trace.DynInst, m *codecache.Meta, start uint64, wrongPath bool) uint64 {
 	if !di.HasAddr {
 		// §III-A: without addresses, "each memory operation is modeled
 		// as a cache hit".
 		return uint64(c.hier.L1DHitLatency())
 	}
-	if fwdDone, ok := c.forward(di.MemAddr, di.In.Op.MemBytes()); ok {
+	if fwdDone, ok := c.forward(di.MemAddr, int(m.MemBytes)); ok {
 		c.stats.LoadForwards++
 		lat := uint64(c.hier.L1DHitLatency())
 		if fwdDone+1 > start+lat {
@@ -590,13 +664,14 @@ func (c *Core) simulateWrongPath(br *trace.DynInst, target uint64, resolve uint6
 		c.dispRing[c.dispIdx] = disp
 		c.dispIdx = (c.dispIdx + 1) % c.cfg.DispatchWidth
 
-		done := c.issueAndExecute(&wp[i], disp, true, resolve)
+		m := c.code.MetaFor(wp[i].PC, &wp[i].In)
+		done := c.issueAndExecute(&wp[i], m, disp, true, resolve)
 
 		pseudo := maxU(lastPseudo, done+1)
 		c.wpRing[i%c.cfg.ROBSize] = pseudo
 		lastPseudo = pseudo
 
-		if wp[i].Taken && wp[i].In.Op.IsControl() && c.fetchCycle < resolve {
+		if wp[i].Taken && m.IsControl() && c.fetchCycle < resolve {
 			c.breakFetchGroup()
 		}
 	}

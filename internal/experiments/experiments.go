@@ -98,11 +98,19 @@ type Options struct {
 	Metrics *obs.Registry
 	// Trace, when non-nil, receives every run's cycle-event trace track.
 	Trace *obs.TraceSink
+	// Batch overrides the core's decoupling-queue lane size
+	// (core.Config.Batch): 0 keeps the default, 1 forces
+	// per-instruction consumption. Results are bit-identical at any
+	// size; the knob exists for throughput comparisons.
+	Batch int
 }
 
 func (o *Options) fill() {
 	if o.Core.ROBSize == 0 {
 		o.Core = core.DefaultConfig()
+	}
+	if o.Batch != 0 {
+		o.Core.Batch = o.Batch
 	}
 	if o.GAP.N == 0 {
 		o.GAP = gap.DefaultParams()

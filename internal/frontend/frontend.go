@@ -35,6 +35,15 @@ type Frontend struct {
 	maxInsts uint64
 	produced uint64
 
+	// wpArena is the reusable backing store for emulated wrong paths:
+	// each mispredict slices its records out of the current block, so
+	// steady-state emulation allocates one block per ~wpArenaBlock
+	// records instead of one slice per mispredict. Blocks are retired
+	// (left to the GC) once full; the WP slices handed out keep their
+	// block alive exactly as long as the queue holds them.
+	wpArena []trace.DynInst
+	wpOff   int
+
 	err error
 
 	// Statistics.
@@ -74,28 +83,77 @@ func New(cpu *functional.CPU, opts ...Option) *Frontend {
 // at program end, the instruction cap, or on a functional error
 // (retrievable via Err).
 func (f *Frontend) Next() (trace.DynInst, bool) {
-	if f.err != nil || f.cpu.Halted() {
+	var di trace.DynInst
+	if !f.step(&di) {
 		return trace.DynInst{}, false
+	}
+	return di, true
+}
+
+// NextBatch fills dst with successive correct-path records and returns
+// how many were written; fewer than len(dst) — including 0 — means the
+// stream ended. The record sequence is identical to repeated Next
+// calls (queue.BatchProducer's contract).
+func (f *Frontend) NextBatch(dst []trace.DynInst) int {
+	n := 0
+	for n < len(dst) && f.step(&dst[n]) {
+		n++
+	}
+	return n
+}
+
+// step writes the next correct-path record into *di; false at program
+// end, the instruction cap, or on a functional error.
+func (f *Frontend) step(di *trace.DynInst) bool {
+	if f.err != nil || f.cpu.Halted() {
+		return false
 	}
 	if f.maxInsts > 0 && f.produced >= f.maxInsts {
-		return trace.DynInst{}, false
+		return false
 	}
-	di, err := f.cpu.Step()
+	d, err := f.cpu.Step()
 	if err != nil {
 		f.err = err
-		return trace.DynInst{}, false
+		return false
 	}
+	*di = d
 	f.produced++
 
 	if f.pred != nil && di.IsControl() {
 		pred := f.pred.PredictAndUpdate(di.PC, di.In, di.Taken, di.NextPC)
 		if pred.Mispredicted {
 			f.wpEmulations++
-			di.WP = f.cpu.WrongPathEmulate(pred.Target, f.wpMaxLen)
+			di.WP = f.emulateWP(pred.Target)
 			f.wpEmulated += uint64(len(di.WP))
 		}
 	}
-	return di, true
+	return true
+}
+
+// wpArenaBlock is the arena growth granule in records; blocks are
+// sized up to wpMaxLen when a single path could outgrow it.
+const wpArenaBlock = 1 << 14
+
+// emulateWP functionally emulates the wrong path from target into the
+// arena and returns the records (nil when the path is empty). The
+// emulated stream itself is unchanged from the per-mispredict
+// allocation it replaces; only the backing store differs.
+func (f *Frontend) emulateWP(target uint64) []trace.DynInst {
+	if len(f.wpArena)-f.wpOff < f.wpMaxLen {
+		sz := wpArenaBlock
+		if sz < f.wpMaxLen {
+			sz = f.wpMaxLen
+		}
+		f.wpArena = make([]trace.DynInst, sz)
+		f.wpOff = 0
+	}
+	base := f.wpArena[f.wpOff:f.wpOff:len(f.wpArena)]
+	wp := f.cpu.AppendWrongPath(base, target, f.wpMaxLen)
+	if len(wp) == 0 {
+		return nil
+	}
+	f.wpOff += len(wp)
+	return wp
 }
 
 // Err returns the functional error that stopped production, if any.

@@ -81,6 +81,24 @@ func NewParallel(src interface {
 				p.setErr(simerr.WorkerPanic("parallel frontend producer", rec, debug.Stack()))
 			}
 		}()
+		if bs, ok := src.(interface {
+			NextBatch([]trace.DynInst) int
+		}); ok {
+			// Batched fill: one producer call per channel batch instead of
+			// one per record. 0 written means end of stream.
+			for {
+				buf := make([]trace.DynInst, batch)
+				n := bs.NextBatch(buf)
+				if n == 0 {
+					return
+				}
+				select {
+				case p.ch <- buf[:n]:
+				case <-p.stop:
+					return
+				}
+			}
+		}
 		buf := make([]trace.DynInst, 0, batch)
 		for {
 			di, ok := src.Next()
@@ -144,6 +162,36 @@ func (p *Parallel) Next() (trace.DynInst, bool) {
 	di := p.cur[p.idx]
 	p.idx++
 	return di, true
+}
+
+// NextBatch implements queue.BatchProducer from the consumer side: it
+// fills dst from the current channel batch, blocking for the next one
+// while dst has room, and returns short only at end-of-stream — the
+// same record sequence (and blocking behavior) as a Next loop.
+func (p *Parallel) NextBatch(dst []trace.DynInst) int {
+	n := 0
+	for n < len(dst) {
+		for p.idx >= len(p.cur) {
+			if p.eof {
+				return n
+			}
+			select {
+			case batch, ok := <-p.ch:
+				if !ok {
+					p.eof = true
+					return n
+				}
+				p.cur, p.idx = batch, 0
+			case <-p.stop:
+				p.eof = true
+				return n
+			}
+		}
+		k := copy(dst[n:], p.cur[p.idx:])
+		p.idx += k
+		n += k
+	}
+	return n
 }
 
 // Interrupt asks both sides of the channel to stop: the producer's next

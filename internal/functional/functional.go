@@ -357,16 +357,24 @@ func (c *CPU) syscall(di *trace.DynInst) error {
 // The CPU's architectural state, retired-instruction count and program
 // output are unchanged by the call.
 func (c *CPU) WrongPathEmulate(target uint64, maxInsts int) []trace.DynInst {
+	return c.AppendWrongPath(nil, target, maxInsts)
+}
+
+// AppendWrongPath is the allocation-aware form of WrongPathEmulate: the
+// emulated records are appended to dst (typically a slice into a
+// reusable arena with at least maxInsts free capacity, so steady-state
+// emulation allocates nothing) and the extended slice is returned.
+func (c *CPU) AppendWrongPath(dst []trace.DynInst, target uint64, maxInsts int) []trace.DynInst {
 	if c.halted || maxInsts <= 0 {
-		return nil
+		return dst
 	}
 	cp := c.Checkpoint()
 	savedSeq := c.seq
 	c.suppressStores = true
 	c.pc = target
 
-	var wp []trace.DynInst
-	for len(wp) < maxInsts {
+	n := 0
+	for n < maxInsts {
 		if in, ok := c.Prog.At(c.pc); !ok || in.Op == isa.OpEcall {
 			break
 		}
@@ -376,13 +384,14 @@ func (c *CPU) WrongPathEmulate(target uint64, maxInsts int) []trace.DynInst {
 		}
 		di.WrongPath = true
 		di.Seq = savedSeq
-		wp = append(wp, di)
+		dst = append(dst, di)
+		n++
 	}
 
 	c.suppressStores = false
 	c.seq = savedSeq
 	c.Restore(cp)
-	return wp
+	return dst
 }
 
 // Run executes until the program halts or maxInsts instructions retire,

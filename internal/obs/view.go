@@ -44,6 +44,16 @@ type QueueObs struct {
 	Grows *Counter
 }
 
+// Enabled reports whether any hook in the bundle is live. Trace-only
+// runs resolve their View against a nil registry, which leaves every
+// queue handle nil — attaching such a bundle would cost a nil-receiver
+// dispatch per queue operation for no data, so the core checks Enabled
+// before wiring the bundle and passes nil through otherwise.
+func (o *QueueObs) Enabled() bool {
+	return o != nil && (o.Occupancy != nil || o.PeekDepth != nil ||
+		o.PeekMiss != nil || o.PeekClipped != nil || o.Grows != nil)
+}
+
 // NewView resolves one run's handles. reg and sink may each be nil
 // independently; if both are nil the caller should keep a nil *View
 // instead so hot-path hooks reduce to one nil check.

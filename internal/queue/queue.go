@@ -39,11 +39,43 @@ type Producer interface {
 	Next() (trace.DynInst, bool)
 }
 
+// BatchProducer is the optional batched counterpart of Producer: one
+// call fills a lane of records and returns how many were written
+// (0 = program end, terminal). A producer implementing it lets the
+// queue refill entire ring segments with one interface call; the
+// record sequence must be identical to repeated Next calls.
+type BatchProducer interface {
+	NextBatch(dst []trace.DynInst) int
+}
+
+// NextBatchOf fills dst from p, using the batched path when p supports
+// it and falling back to per-record Next calls otherwise. It returns
+// the number of records written; 0 means end of stream only if dst is
+// non-empty. Producer wrappers (fault injectors, progress taps) use it
+// to forward batches without caring which interface their inner
+// producer implements.
+func NextBatchOf(p Producer, dst []trace.DynInst) int {
+	if bp, ok := p.(BatchProducer); ok {
+		return bp.NextBatch(dst)
+	}
+	n := 0
+	for n < len(dst) {
+		di, ok := p.Next()
+		if !ok {
+			break
+		}
+		dst[n] = di
+		n++
+	}
+	return n
+}
+
 // Queue is a lookahead buffer over a Producer. It is not safe for
 // concurrent use; the parallel frontend mode wraps the producer, not
 // the queue.
 type Queue struct {
 	src  Producer
+	bsrc BatchProducer   // non-nil when src supports batched refills
 	buf  []trace.DynInst // ring buffer; len is a power of two
 	head int             // index of next instruction to pop
 	n    int             // live entries
@@ -78,7 +110,9 @@ func New(src Producer, lookahead int) (*Queue, error) {
 	for cap_ < lookahead+1 {
 		cap_ *= 2
 	}
-	return &Queue{src: src, buf: make([]trace.DynInst, cap_), lookahead: lookahead}, nil
+	q := &Queue{src: src, buf: make([]trace.DynInst, cap_), lookahead: lookahead}
+	q.bsrc, _ = src.(BatchProducer)
+	return q, nil
 }
 
 // SetObs attaches the instrumentation bundle; nil detaches it. The
@@ -88,6 +122,26 @@ func (q *Queue) SetObs(o *obs.QueueObs) { q.obs = o }
 func (q *Queue) fill(target int) {
 	if target > len(q.buf) {
 		target = len(q.buf)
+	}
+	if q.bsrc != nil {
+		// Batched refill: hand the producer contiguous ring segments (at
+		// most two per wrap) instead of one slot per interface call. The
+		// record sequence — and therefore every simulated statistic — is
+		// identical to the per-record path.
+		for !q.done && q.n < target {
+			w := (q.head + q.n) & (len(q.buf) - 1)
+			k := target - q.n
+			if room := len(q.buf) - w; k > room {
+				k = room
+			}
+			got := q.bsrc.NextBatch(q.buf[w : w+k])
+			if got == 0 {
+				q.done = true
+				return
+			}
+			q.n += got
+		}
+		return
 	}
 	for !q.done && q.n < target {
 		di, ok := q.src.Next()
@@ -141,6 +195,67 @@ func (q *Queue) Pop() (trace.DynInst, bool) {
 	return di, true
 }
 
+// PopBatch removes up to len(dst) instructions into dst and returns
+// how many were written; 0 means the program has ended. The batch
+// stops after (and includes) an Exit record, so records beyond a
+// program exit stay queued — exactly what a per-instruction consumer
+// would leave behind.
+//
+// Refill discipline: the pull pattern from the producer is identical
+// to len(dst) successive Pops — the queue tops up to the lookahead
+// target before copying and restores the lookahead-1 steady state
+// afterwards — so the functional side executes exactly as many
+// instructions as it would under per-instruction consumption, keeping
+// batched results bit-identical (including FunctionalInsts).
+func (q *Queue) PopBatch(dst []trace.DynInst) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	q.fill(q.lookahead)
+	if q.obs != nil {
+		q.obs.Occupancy.Observe(uint64(q.n))
+	}
+	n := len(dst)
+	if n > q.n {
+		n = q.n
+	}
+	if n == 0 {
+		return 0
+	}
+	mask := len(q.buf) - 1
+	c1 := n
+	if room := len(q.buf) - q.head; c1 > room {
+		c1 = room
+	}
+	copy(dst[:c1], q.buf[q.head:q.head+c1])
+	if c1 < n {
+		copy(dst[c1:n], q.buf[:n-c1])
+	}
+	// Stop after the first Exit record.
+	for i := 0; i < n; i++ {
+		if dst[i].Exit {
+			n = i + 1
+			break
+		}
+	}
+	// Release consumed slots (drop attached WP streams).
+	e1 := q.head + n
+	if e1 <= len(q.buf) {
+		clear(q.buf[q.head:e1])
+	} else {
+		clear(q.buf[q.head:])
+		clear(q.buf[:e1-len(q.buf)])
+	}
+	q.head = (q.head + n) & mask
+	q.n -= n
+	q.popped.Add(uint64(n))
+	// Restore the per-instruction steady state (lookahead-1 buffered):
+	// a per-record consumer would have refilled before each of the n
+	// pops, ending one short of the target.
+	q.fill(q.lookahead - 1)
+	return n
+}
+
 // Peek returns the i-th instruction ahead (0 = the one the next Pop
 // returns) without consuming it, refilling from the producer — and
 // growing the ring, up to MaxCapacity — as needed. ok is false when
@@ -171,6 +286,58 @@ func (q *Queue) Peek(i int) (trace.DynInst, bool) {
 		}
 	}
 	return q.buf[(q.head+i)&(len(q.buf)-1)], true
+}
+
+// PeekWindow returns a contiguous read-only view of the buffered
+// future instructions starting at index i (same indexing as Peek), at
+// most max records and at most up to the ring's wrap point — callers
+// walk forward by re-requesting at i+len(window). An empty window
+// means what a false Peek(i) means: program end past i, or i beyond
+// the capacity ceiling.
+//
+// Refill parity: the window only refills the producer up to i+1 (like
+// Peek) and otherwise serves what is already buffered, so a windowed
+// walk pulls exactly the records a peek-by-one walk would have pulled
+// — the guarantee that keeps batched convergence searches bit-exact.
+//
+// The returned slice aliases the ring: it stays valid until the next
+// Pop/PopBatch (deeper peeks may re-ring the buffer, but the old
+// backing array keeps its records, so earlier windows stay readable).
+func (q *Queue) PeekWindow(i, max int) []trace.DynInst {
+	if i < 0 || max < 1 {
+		return nil
+	}
+	if q.obs != nil {
+		q.obs.PeekDepth.Observe(uint64(i))
+	}
+	if i >= len(q.buf) && !q.grow(i+1) {
+		if q.obs != nil {
+			if !q.done {
+				q.obs.PeekClipped.Inc()
+			}
+			q.obs.PeekMiss.Inc()
+		}
+		return nil
+	}
+	if i >= q.n {
+		q.fill(i + 1)
+		if i >= q.n {
+			if q.obs != nil {
+				q.obs.PeekMiss.Inc()
+			}
+			return nil
+		}
+	}
+	avail := q.n - i
+	if avail > max {
+		avail = max
+	}
+	start := (q.head + i) & (len(q.buf) - 1)
+	end := start + avail
+	if end > len(q.buf) {
+		end = len(q.buf)
+	}
+	return q.buf[start:end]
 }
 
 // Len returns the number of currently buffered instructions.

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/workloads/gap"
+	"repro/internal/wrongpath"
+)
+
+// stripHost removes the host-dependent fields from a Result so the
+// remainder can be compared bit-for-bit.
+func stripHost(r *Result) Result {
+	n := *r
+	n.Wall = 0
+	return n
+}
+
+// TestBatchSizeBitIdentical: the decoupling-queue lane size is a host
+// throughput knob only. Every simulated field of Result — core and
+// policy statistics, all cache levels, functional instruction count,
+// even the program's captured output — must be identical at any batch
+// size, for every technique. Batch=1 drives the consolidated run loop
+// down the per-instruction pull pattern, so it doubles as the legacy
+// reference.
+func TestBatchSizeBitIdentical(t *testing.T) {
+	w := gap.BFS(gap.TestParams())
+	for _, k := range wrongpath.Kinds() {
+		refCfg := Default(k)
+		refCfg.Core.Batch = 1
+		ref, err := Run(refCfg, w.MustBuild())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Err != nil {
+			t.Fatalf("%v: reference run fault: %v", k, ref.Err)
+		}
+		for _, batch := range []int{0, 3, 64, 256} {
+			cfg := Default(k)
+			cfg.Core.Batch = batch
+			got, err := Run(cfg, w.MustBuild())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(stripHost(got), stripHost(ref)) {
+				t.Errorf("%v: batch=%d diverges from per-instruction:\n got  %+v\n want %+v",
+					k, batch, stripHost(got), stripHost(ref))
+			}
+		}
+	}
+}
+
+// TestBatchWithParallelFrontendBitIdentical: lane batching composes
+// with the parallel frontend (batched channel hand-off on the producer
+// side) without changing a single statistic.
+func TestBatchWithParallelFrontendBitIdentical(t *testing.T) {
+	w := gap.BFS(gap.TestParams())
+	for _, k := range []wrongpath.Kind{wrongpath.NoWP, wrongpath.Conv, wrongpath.WPEmul} {
+		refCfg := Default(k)
+		refCfg.Core.Batch = 1
+		ref, err := Run(refCfg, w.MustBuild())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Default(k)
+		cfg.ParallelFrontend = true
+		got, err := Run(cfg, w.MustBuild())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(stripHost(got), stripHost(ref)) {
+			t.Errorf("%v: batched parallel frontend diverges from serial per-instruction run", k)
+		}
+	}
+}
+
+// TestBatchWithWatchdogBitIdentical: arming the watchdog interposes the
+// per-record progress tap (the producer side deliberately drops batched
+// refills so stall snapshots stay exact); consumer-side lanes must
+// still yield identical results, idle watchdog or not, at any size.
+func TestBatchWithWatchdogBitIdentical(t *testing.T) {
+	w := gap.BFS(gap.TestParams())
+	for _, k := range []wrongpath.Kind{wrongpath.NoWP, wrongpath.Conv, wrongpath.WPEmul} {
+		refCfg := Default(k)
+		refCfg.Core.Batch = 1
+		ref, err := Run(refCfg, w.MustBuild())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Default(k)
+		cfg.Watchdog = time.Minute
+		got, err := Run(cfg, w.MustBuild())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Err != nil {
+			t.Fatalf("%v: idle watchdog fired: %v", k, got.Err)
+		}
+		if !reflect.DeepEqual(stripHost(got), stripHost(ref)) {
+			t.Errorf("%v: batched run under an idle watchdog diverges from per-instruction", k)
+		}
+	}
+}
+
+// TestRunKindsBatchBitIdentical covers the sweep entry point the
+// experiments layer uses: every technique's result from one batched
+// sweep equals its per-instruction counterpart.
+func TestRunKindsBatchBitIdentical(t *testing.T) {
+	w := gap.BFS(gap.TestParams())
+	refCfg := Default(wrongpath.NoWP)
+	refCfg.Core.Batch = 1
+	refs, err := RunAll(refCfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gots, err := RunAll(Default(wrongpath.NoWP), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range wrongpath.Kinds() {
+		if !reflect.DeepEqual(stripHost(gots[k]), stripHost(refs[k])) {
+			t.Errorf("%v: batched RunAll result diverges from per-instruction", k)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/simerr"
@@ -61,6 +62,13 @@ func NewSession(cfg Config, src Source) (*Session, error) {
 		return nil, err
 	}
 	s.core = c
+	if p, ok := src.(interface{ Program() *isa.Program }); ok {
+		// Predecode the static program into the code cache so first
+		// deliveries and wrong-path walks find their decode records
+		// already classified. Lookup semantics — and therefore results —
+		// are unchanged: predecoded entries still miss until delivered.
+		c.CodeCache().Predecode(p.Program())
+	}
 	if s.view = cfg.view(); s.view != nil {
 		s.core.SetObs(s.view)
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"repro/internal/frontend"
 	"repro/internal/functional"
+	"repro/internal/isa"
 	"repro/internal/queue"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -75,6 +76,15 @@ func NewFunctionalSource(cfg Config, inst *workloads.Instance) Source {
 
 func (s *functionalSource) Next() (trace.DynInst, bool) { return s.producer.Next() }
 
+// NextBatch implements queue.BatchProducer by forwarding to the active
+// producer (the frontend directly, or its parallel wrapper).
+func (s *functionalSource) NextBatch(dst []trace.DynInst) int {
+	return queue.NextBatchOf(s.producer, dst)
+}
+
+// Program exposes the static program for code-cache predecoding.
+func (s *functionalSource) Program() *isa.Program { return s.cpu.Prog }
+
 func (s *functionalSource) SupportsWPEmul() bool { return true }
 
 func (s *functionalSource) Close() {
@@ -125,6 +135,12 @@ func NewTraceSource(src queue.Producer) Source { return traceSource{src: src} }
 
 func (s traceSource) Next() (trace.DynInst, bool) { return s.src.Next() }
 
+// NextBatch forwards batched refills to the trace producer (batched
+// when the reader supports it, per-record otherwise).
+func (s traceSource) NextBatch(dst []trace.DynInst) int {
+	return queue.NextBatchOf(s.src, dst)
+}
+
 func (s traceSource) SupportsWPEmul() bool { return false }
 
 func (s traceSource) Close() {}
@@ -160,6 +176,15 @@ type wrappedSource struct {
 }
 
 func (w *wrappedSource) Next() (trace.DynInst, bool) { return w.producer.Next() }
+
+// NextBatch must be defined explicitly: the embedded Source would
+// otherwise promote its own NextBatch and hand out batches that bypass
+// the wrapper chain (fault injectors, filters). Batches route through
+// w.producer, falling back to its per-record Next when the wrapper does
+// not batch — which keeps every wrapped record passing through wrap().
+func (w *wrappedSource) NextBatch(dst []trace.DynInst) int {
+	return queue.NextBatchOf(w.producer, dst)
+}
 
 func (w *wrappedSource) Interrupt() {
 	interrupt(w.producer)

@@ -31,6 +31,14 @@ func interrupt(v any) {
 // progress (instruction count and last PC) to the watchdog goroutine
 // through atomics. It sits between the Source and the queue, so it
 // observes exactly what the queue ingests regardless of frontend kind.
+//
+// The tap deliberately does NOT implement queue.BatchProducer: a
+// batched forward could only account records after the whole call
+// returned, so a producer wedging mid-batch would leave the stall
+// snapshot reporting a stale count and PC. Watchdog-armed runs
+// therefore refill per record (consumer-side lane batching and
+// convergence windows still apply); unwatched runs keep the fully
+// batched producer path.
 type progressTap struct {
 	src      queue.Producer
 	produced atomic.Uint64

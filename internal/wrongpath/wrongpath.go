@@ -141,12 +141,36 @@ type Context struct {
 	// instruction the core will consume next); ok is false past program
 	// end or past the queue's lookahead.
 	Peek func(i int) (trace.DynInst, bool)
+	// Window, when non-nil, returns a read-only contiguous view of the
+	// future correct-path instructions starting at i — at most max
+	// records, possibly fewer (callers walk on by re-requesting at
+	// i+len(window)); empty exactly where Peek(i) reports false. The
+	// batched core provides it so convergence walks scan queued records
+	// in place instead of copying one DynInst per probe.
+	Window func(i, max int) []trace.DynInst
 	// ROBSize bounds the convergence search (the paper: at most
 	// 2 × ROB-size comparisons).
 	ROBSize int
 	// MaxLen caps the reconstructed wrong path: ROB size plus the
 	// front-end buffers (§III-B).
 	MaxLen int
+}
+
+// win returns a view of the future correct path starting at i, at most
+// max records: the batched Window accessor when the core provides one,
+// else a one-record window copied through Peek into *scratch. Either
+// way the walk visits the same record sequence, so policy decisions —
+// and therefore results — do not depend on which accessor is wired.
+func (ctx *Context) win(i, max int, scratch *[1]trace.DynInst) []trace.DynInst {
+	if ctx.Window != nil {
+		return ctx.Window(i, max)
+	}
+	di, ok := ctx.Peek(i)
+	if !ok {
+		return nil
+	}
+	scratch[0] = di
+	return scratch[:1]
 }
 
 // Stats aggregates policy-level counters; the conv fields feed the
@@ -253,20 +277,21 @@ func (p *nowpPolicy) Begin(_ *Context, _ *trace.DynInst, _ uint64) []trace.DynIn
 // under which the paper's implementation falls back to halting fetch.
 //
 // The records are appended to buf (reused across calls) and have no
-// memory addresses: HasAddr is false.
-func reconstruct(ctx *Context, startPC uint64, buf []trace.DynInst) []trace.DynInst {
-	ras := ctx.Pred.RASSnapshot()
+// memory addresses: HasAddr is false. ras is the caller's pooled
+// scratch stack, re-seeded from the predictor on entry.
+func reconstruct(ctx *Context, startPC uint64, buf []trace.DynInst, ras *branch.RAS) []trace.DynInst {
+	ctx.Pred.SnapshotRASInto(ras)
 	hist := ctx.Pred.SpecHistory()
 	pc := startPC
 	for len(buf) < ctx.MaxLen {
-		in, ok := ctx.Code.Lookup(pc)
-		if !ok || in.Op == isa.OpEcall {
+		in, m, ok := ctx.Code.LookupMeta(pc)
+		if !ok || m.IsEcall() {
 			break
 		}
-		di := trace.DynInst{PC: pc, In: in, WrongPath: true}
+		di := trace.DynInst{PC: pc, In: *in, WrongPath: true}
 		next := pc + isa.InstBytes
 		switch {
-		case in.Op.IsCondBranch():
+		case m.IsCondBranch():
 			di.Taken, hist = ctx.Pred.PredictCondSpec(pc, hist)
 			if di.Taken {
 				next = in.Target
@@ -274,17 +299,17 @@ func reconstruct(ctx *Context, startPC uint64, buf []trace.DynInst) []trace.DynI
 		case in.Op == isa.OpJal:
 			di.Taken = true
 			next = in.Target
-			if branch.IsCall(in) {
+			if branch.IsCall(*in) {
 				ras.Push(pc + isa.InstBytes)
 			}
 		case in.Op == isa.OpJalr:
 			di.Taken = true
 			var t uint64
-			if branch.IsReturn(in) {
+			if branch.IsReturn(*in) {
 				t, ok = ras.Pop()
 			} else {
 				t, ok = ctx.Pred.PredictIndirect(pc)
-				if branch.IsCall(in) {
+				if branch.IsCall(*in) {
 					ras.Push(pc + isa.InstBytes)
 				}
 			}
@@ -306,6 +331,7 @@ func reconstruct(ctx *Context, startPC uint64, buf []trace.DynInst) []trace.DynI
 type instrecPolicy struct {
 	stats Stats
 	buf   []trace.DynInst
+	ras   branch.RAS // pooled reconstruction scratch
 }
 
 func (p *instrecPolicy) Kind() Kind    { return InstRec }
@@ -313,7 +339,7 @@ func (p *instrecPolicy) Stats() *Stats { return &p.stats }
 
 func (p *instrecPolicy) Begin(ctx *Context, _ *trace.DynInst, predictedTarget uint64) []trace.DynInst {
 	p.stats.Mispredicts++
-	p.buf = reconstruct(ctx, predictedTarget, p.buf[:0])
+	p.buf = reconstruct(ctx, predictedTarget, p.buf[:0], &p.ras)
 	p.stats.WPGenerated += uint64(len(p.buf))
 	for i := range p.buf {
 		if p.buf[i].In.Op.IsMem() {
@@ -330,6 +356,7 @@ func (p *instrecPolicy) Begin(ctx *Context, _ *trace.DynInst, predictedTarget ui
 type convPolicy struct {
 	stats Stats
 	buf   []trace.DynInst
+	ras   branch.RAS // pooled reconstruction scratch
 	// kind is Conv or ConvResolve (zero value: Conv).
 	kind Kind
 
@@ -365,7 +392,7 @@ func (p *convPolicy) Stats() *Stats { return &p.stats }
 
 func (p *convPolicy) Begin(ctx *Context, br *trace.DynInst, predictedTarget uint64) []trace.DynInst {
 	p.stats.Mispredicts++
-	p.buf = reconstruct(ctx, predictedTarget, p.buf[:0])
+	p.buf = reconstruct(ctx, predictedTarget, p.buf[:0], &p.ras)
 	wp := p.buf
 	// Convergence is only checked for one-sided conditional branches
 	// (paper §III-C1); indirect mispredictions keep the plain
@@ -394,27 +421,34 @@ func (p *convPolicy) Begin(ctx *Context, br *trace.DynInst, predictedTarget uint
 // path), the pre-convergence distance, and whether convergence was
 // found at all, updating the detection statistics.
 func (p *convPolicy) detect(ctx *Context, wp []trace.DynInst) (caseA bool, dist int, ok bool) {
-	cp0, haveCP := ctx.Peek(0)
-	if !haveCP {
+	var scratch [1]trace.DynInst
+	w0 := ctx.win(0, 1, &scratch)
+	if len(w0) == 0 {
 		return false, 0, false // program end: skip the check
 	}
+	cp0PC := w0[0].PC
 	distA := -1
 	for k := 1; k < len(wp) && k <= ctx.ROBSize; k++ {
-		if wp[k].PC == cp0.PC {
+		if wp[k].PC == cp0PC {
 			distA = k
 			break
 		}
 	}
 	distB := -1
-	for k := 1; k <= ctx.ROBSize; k++ {
-		ck, ok := ctx.Peek(k)
-		if !ok {
+	wp0PC := wp[0].PC
+scanB:
+	for k := 1; k <= ctx.ROBSize; {
+		w := ctx.win(k, ctx.ROBSize+1-k, &scratch)
+		if len(w) == 0 {
 			break
 		}
-		if ck.PC == wp[0].PC {
-			distB = k
-			break
+		for j := range w {
+			if w[j].PC == wp0PC {
+				distB = k + j
+				break scanB
+			}
 		}
+		k += len(w)
 	}
 	caseA = distA >= 0 && (distB < 0 || distA <= distB)
 	switch {
@@ -450,40 +484,50 @@ func (p *convPolicy) recoverAddresses(ctx *Context, wp []trace.DynInst) {
 	// base register is clean; propagate dirtiness through register
 	// dependences. The walk stops at the first PC mismatch (the
 	// reconstructed wrong path diverged — e.g. a differently-predicted
-	// branch inside the window).
-	var srcs [3]isa.Reg
+	// branch inside the window). Correct-path records are scanned
+	// through ring windows; decode facts come from the precomputed Meta.
+	var scratch [1]trace.DynInst
+walk:
 	for wpIdx < len(wp) {
-		ci, ok := ctx.Peek(cpIdx)
-		if !ok || ci.PC != wp[wpIdx].PC {
+		w := ctx.win(cpIdx, len(wp)-wpIdx, &scratch)
+		if len(w) == 0 {
 			break
 		}
-		in := wp[wpIdx].In
-		srcDirty := false
-		for _, r := range in.Sources(srcs[:0]) {
-			if dirty.has(r) {
-				srcDirty = true
-				break
+		for j := range w {
+			ci := &w[j]
+			if ci.PC != wp[wpIdx].PC {
+				break walk
+			}
+			m := ctx.Code.MetaFor(wp[wpIdx].PC, &wp[wpIdx].In)
+			srcDirty := false
+			for s := uint8(0); s < m.NSrcs; s++ {
+				if dirty.has(m.Srcs[s]) {
+					srcDirty = true
+					break
+				}
+			}
+			if m.IsMem() && ci.HasAddr {
+				if p.DisableIndependenceCheck || !dirty.has(m.Base) {
+					wp[wpIdx].MemAddr = ci.MemAddr
+					wp[wpIdx].HasAddr = true
+					wp[wpIdx].Recovered = true
+					p.stats.WPAddrRecovered++
+				}
+			}
+			if m.HasDst {
+				if srcDirty {
+					dirty.add(m.Dst)
+				} else {
+					dirty.remove(m.Dst)
+				}
+			}
+			wpIdx++
+			cpIdx++
+			p.stats.ConvMatchLenSum++
+			if wpIdx >= len(wp) {
+				break walk
 			}
 		}
-		if in.Op.IsMem() && ci.HasAddr {
-			base, _ := in.BaseReg()
-			if p.DisableIndependenceCheck || !dirty.has(base) {
-				wp[wpIdx].MemAddr = ci.MemAddr
-				wp[wpIdx].HasAddr = true
-				wp[wpIdx].Recovered = true
-				p.stats.WPAddrRecovered++
-			}
-		}
-		if rd, ok := in.Dest(); ok {
-			if srcDirty {
-				dirty.add(rd)
-			} else {
-				dirty.remove(rd)
-			}
-		}
-		wpIdx++
-		cpIdx++
-		p.stats.ConvMatchLenSum++
 	}
 }
 
@@ -501,14 +545,18 @@ func (p *convPolicy) preConvergence(ctx *Context, wp []trace.DynInst, caseA bool
 		}
 		return dirty, dist, 0, true
 	}
-	for i := 0; i < dist; i++ {
-		ci, ok := ctx.Peek(i)
-		if !ok {
+	var scratch [1]trace.DynInst
+	for i := 0; i < dist; {
+		w := ctx.win(i, dist-i, &scratch)
+		if len(w) == 0 {
 			return 0, 0, 0, false
 		}
-		if rd, ok := ci.In.Dest(); ok {
-			dirty.add(rd)
+		for j := range w {
+			if rd, ok := w[j].In.Dest(); ok {
+				dirty.add(rd)
+			}
 		}
+		i += len(w)
 	}
 	return dirty, 0, dist, true
 }
@@ -528,78 +576,86 @@ func (p *convPolicy) recoverResolving(ctx *Context, wp []trace.DynInst) []trace.
 	if !ok {
 		return wp
 	}
-	// Keep the pre-convergence wrong-path prefix, rebuild the rest.
+	// Keep the pre-convergence wrong-path prefix, rebuild the rest,
+	// scanning the correct path through ring windows with decode facts
+	// from the precomputed Meta.
 	out := wp[:wpIdx]
 	hist := ctx.Pred.SpecHistory()
-	var srcs [3]isa.Reg
+	var scratch [1]trace.DynInst
+outer:
 	for len(out) < ctx.MaxLen {
-		ci, ok := ctx.Peek(cpIdx)
-		if !ok {
+		w := ctx.win(cpIdx, ctx.MaxLen-len(out), &scratch)
+		if len(w) == 0 {
 			break
 		}
-		in := ci.In
-		if in.Op == isa.OpEcall {
-			break
-		}
-		di := trace.DynInst{PC: ci.PC, In: in, WrongPath: true}
-		srcDirty := false
-		for _, r := range in.Sources(srcs[:0]) {
-			if dirty.has(r) {
-				srcDirty = true
-				break
+		for j := range w {
+			ci := &w[j]
+			m := ctx.Code.MetaFor(ci.PC, &ci.In)
+			if m.IsEcall() {
+				break outer
 			}
-		}
-		if in.Op.IsMem() && ci.HasAddr {
-			base, _ := in.BaseReg()
-			if p.DisableIndependenceCheck || !dirty.has(base) {
-				di.MemAddr = ci.MemAddr
-				di.HasAddr = true
-				di.Recovered = true
-				p.stats.WPAddrRecovered++
-			}
-		}
-		if rd, ok := in.Dest(); ok {
-			if srcDirty {
-				dirty.add(rd)
-			} else {
-				dirty.remove(rd)
-			}
-		}
-		p.stats.ConvMatchLenSum++
-		if in.Op.IsControl() && srcDirty {
-			// A branch whose condition depends on pre-convergence state:
-			// the wrong path genuinely decides on its own (different)
-			// data. Follow the prediction; if it disagrees with the
-			// correct path, the paths diverge for good and the walk
-			// degrades to prediction-only reconstruction.
-			var predTaken bool
-			predTaken, hist = ctx.Pred.PredictCondSpec(di.PC, hist)
-			if in.Op.IsCondBranch() && predTaken != ci.Taken {
-				di.Taken = predTaken
-				di.NextPC = di.PC + isa.InstBytes
-				if predTaken {
-					di.NextPC = in.Target
+			di := trace.DynInst{PC: ci.PC, In: ci.In, WrongPath: true}
+			srcDirty := false
+			for s := uint8(0); s < m.NSrcs; s++ {
+				if dirty.has(m.Srcs[s]) {
+					srcDirty = true
+					break
 				}
-				out = append(out, di)
-				return p.continueReconstruct(ctx, di.NextPC, hist, out)
 			}
-			if !in.Op.IsCondBranch() {
-				// Dirty indirect target: cannot follow further.
-				di.Taken = true
-				di.NextPC = ci.NextPC
-				out = append(out, di)
-				return out
+			if m.IsMem() && ci.HasAddr {
+				if p.DisableIndependenceCheck || !dirty.has(m.Base) {
+					di.MemAddr = ci.MemAddr
+					di.HasAddr = true
+					di.Recovered = true
+					p.stats.WPAddrRecovered++
+				}
+			}
+			if m.HasDst {
+				if srcDirty {
+					dirty.add(m.Dst)
+				} else {
+					dirty.remove(m.Dst)
+				}
+			}
+			p.stats.ConvMatchLenSum++
+			if m.IsControl() && srcDirty {
+				// A branch whose condition depends on pre-convergence state:
+				// the wrong path genuinely decides on its own (different)
+				// data. Follow the prediction; if it disagrees with the
+				// correct path, the paths diverge for good and the walk
+				// degrades to prediction-only reconstruction.
+				var predTaken bool
+				predTaken, hist = ctx.Pred.PredictCondSpec(di.PC, hist)
+				if m.IsCondBranch() && predTaken != ci.Taken {
+					di.Taken = predTaken
+					di.NextPC = di.PC + isa.InstBytes
+					if predTaken {
+						di.NextPC = ci.In.Target
+					}
+					out = append(out, di)
+					return p.continueReconstruct(ctx, di.NextPC, hist, out)
+				}
+				if !m.IsCondBranch() {
+					// Dirty indirect target: cannot follow further.
+					di.Taken = true
+					di.NextPC = ci.NextPC
+					out = append(out, di)
+					return out
+				}
+			}
+			// Clean control (or clean fall-through): the wrong-path core
+			// resolves it to the same outcome as the correct path.
+			if m.IsCondBranch() {
+				_, hist = ctx.Pred.PredictCondSpec(di.PC, hist)
+			}
+			di.Taken = ci.Taken
+			di.NextPC = ci.NextPC
+			out = append(out, di)
+			cpIdx++
+			if len(out) >= ctx.MaxLen {
+				break outer
 			}
 		}
-		// Clean control (or clean fall-through): the wrong-path core
-		// resolves it to the same outcome as the correct path.
-		if in.Op.IsCondBranch() {
-			_, hist = ctx.Pred.PredictCondSpec(di.PC, hist)
-		}
-		di.Taken = ci.Taken
-		di.NextPC = ci.NextPC
-		out = append(out, di)
-		cpIdx++
 	}
 	return out
 }
@@ -607,16 +663,17 @@ func (p *convPolicy) recoverResolving(ctx *Context, wp []trace.DynInst) []trace.
 // continueReconstruct extends a partially rebuilt wrong path by plain
 // predicted-path reconstruction (no addresses) from pc.
 func (p *convPolicy) continueReconstruct(ctx *Context, pc uint64, hist uint64, out []trace.DynInst) []trace.DynInst {
-	ras := ctx.Pred.RASSnapshot()
+	ras := &p.ras // free here: the initial reconstruct walk has finished
+	ctx.Pred.SnapshotRASInto(ras)
 	for len(out) < ctx.MaxLen {
-		in, ok := ctx.Code.Lookup(pc)
-		if !ok || in.Op == isa.OpEcall {
+		in, m, ok := ctx.Code.LookupMeta(pc)
+		if !ok || m.IsEcall() {
 			break
 		}
-		di := trace.DynInst{PC: pc, In: in, WrongPath: true}
+		di := trace.DynInst{PC: pc, In: *in, WrongPath: true}
 		next := pc + isa.InstBytes
 		switch {
-		case in.Op.IsCondBranch():
+		case m.IsCondBranch():
 			di.Taken, hist = ctx.Pred.PredictCondSpec(pc, hist)
 			if di.Taken {
 				next = in.Target
@@ -624,17 +681,17 @@ func (p *convPolicy) continueReconstruct(ctx *Context, pc uint64, hist uint64, o
 		case in.Op == isa.OpJal:
 			di.Taken = true
 			next = in.Target
-			if branch.IsCall(in) {
+			if branch.IsCall(*in) {
 				ras.Push(pc + isa.InstBytes)
 			}
 		case in.Op == isa.OpJalr:
 			di.Taken = true
 			var t uint64
-			if branch.IsReturn(in) {
+			if branch.IsReturn(*in) {
 				t, ok = ras.Pop()
 			} else {
 				t, ok = ctx.Pred.PredictIndirect(pc)
-				if branch.IsCall(in) {
+				if branch.IsCall(*in) {
 					ras.Push(pc + isa.InstBytes)
 				}
 			}
