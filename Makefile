@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-fix lint-sarif race faults check bench bench-diff bench-all bench-smoke
+.PHONY: build test vet lint lint-fix lint-sarif race faults chaos fuzz-smoke check bench bench-diff bench-all bench-smoke
 
 build:
 	$(GO) build ./...
@@ -36,8 +36,25 @@ faults:
 		./internal/faultinject/ ./internal/simerr/ ./internal/tracefile/ \
 		./internal/frontend/ ./internal/batch/ ./internal/sim/ ./internal/experiments/
 
+# chaos runs the crash-safety acceptance gate under the race detector:
+# kill runs at randomized (seeded) checkpoint boundaries, resume from
+# the latest snapshot, and require results and reports byte-identical
+# to uninterrupted runs (see DESIGN.md, "Checkpoint, resume, and
+# cancellation").
+chaos:
+	$(GO) test -race -timeout 10m -run 'Checkpoint|Resume|Chaos|CancelNoLeak' \
+		./internal/checkpoint/ ./internal/sim/ ./internal/frontend/ ./internal/experiments/
+
+# fuzz-smoke runs each native fuzz target briefly — a coverage-guided
+# smoke pass over the two binary decoders (trace files and snapshot
+# containers), not a soak. CI runs it on every push.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime 10s ./internal/tracefile/
+	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s ./internal/checkpoint/
+	$(GO) test -run '^$$' -fuzz FuzzOpen -fuzztime 10s ./internal/checkpoint/
+
 # check is the full CI gate.
-check: build vet lint race faults
+check: build vet lint race faults chaos
 
 # bench runs the observability regression sweep: the fig1/fig4
 # workload cross-section under every wrong-path technique with metrics

@@ -15,18 +15,28 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cliobs"
 	"repro/internal/experiments"
+	"repro/internal/simerr"
 	"repro/internal/workloads/gap"
 	"repro/internal/workloads/specproxy"
 )
+
+// exitAnnotated is the exit code for a sweep whose report flushed but
+// carries fault annotations (DEGRADED or INCOMPLETE cells): nonzero so
+// CI notices, distinct from the hard-failure exit 1.
+const exitAnnotated = 3
 
 func main() {
 	var (
@@ -42,6 +52,9 @@ func main() {
 		watchdog = flag.Duration("watchdog", 0, "stall-watchdog budget per simulation (0 = disabled); stalled cells abort with a typed error")
 		degrade  = flag.Bool("degrade", false, "on a recoverable fault, retry a cell one technique rung down instead of failing the sweep (degraded cells are annotated)")
 		retries  = flag.Int("max-retries", 2, "ladder descents allowed per cell (with -degrade)")
+		ckptDir  = flag.String("checkpoint-dir", "", "write per-cell crash-safe snapshots under this directory (empty = disabled)")
+		ckptN    = flag.Uint64("checkpoint-every", 1_000_000, "snapshot interval in retired instructions (with -checkpoint-dir)")
+		resume   = flag.Bool("resume", false, "resume each cell from its latest snapshot under -checkpoint-dir; the resumed report is byte-identical to an uninterrupted sweep")
 	)
 	var obsFlags cliobs.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -76,6 +89,17 @@ func main() {
 	if *degrade {
 		opt.MaxRetries = *retries
 	}
+	opt.CheckpointDir = *ckptDir
+	opt.CheckpointEvery = *ckptN
+	opt.Resume = *resume
+
+	// First SIGINT/SIGTERM cancels the sweep cleanly: in-flight cells
+	// finish their lane, the report flushes with INCOMPLETE footnotes,
+	// and snapshots stay resumable. A second signal kills outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opt.Ctx = ctx
+
 	var err error
 	if opt.Metrics, opt.Trace, err = obsFlags.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "wpexp: observability: %v\n", err)
@@ -90,9 +114,14 @@ func main() {
 		err = r.Run(*exp)
 	}
 	wall := time.Since(start)
-	if err != nil {
+	if err != nil && !errors.Is(err, simerr.ErrCanceled) {
 		fmt.Fprintf(os.Stderr, "wpexp: %v\n", err)
 		os.Exit(1)
+	}
+	if err != nil {
+		// Canceled: the partial report and its INCOMPLETE footnote are
+		// already flushed; finish observability, then exit annotated.
+		fmt.Fprintf(os.Stderr, "wpexp: %v\n", err)
 	}
 	if err := obsFlags.Finish(); err != nil {
 		fmt.Fprintf(os.Stderr, "wpexp: observability: %v\n", err)
@@ -103,6 +132,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wpexp: writing %s: %v\n", *benchOut, err)
 			os.Exit(1)
 		}
+	}
+	// The report flushed, but some cells are annotated (DEGRADED or
+	// INCOMPLETE): tell CI without discarding the partial output.
+	if r.Faulted() {
+		os.Exit(exitAnnotated)
 	}
 }
 

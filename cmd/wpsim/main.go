@@ -10,12 +10,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/cliobs"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -25,6 +29,12 @@ import (
 	"repro/internal/workloads/specproxy"
 	"repro/internal/wrongpath"
 )
+
+// exitAnnotated is the exit code for a run that completed and printed
+// its report but carries fault annotations (degraded, canceled, or
+// functional-error cells): nonzero so scripts notice, distinct from the
+// hard-failure exit 1.
+const exitAnnotated = 3
 
 func main() {
 	var (
@@ -49,6 +59,9 @@ func main() {
 		watchdog = flag.Duration("watchdog", 0, "stall-watchdog budget (0 = disabled); aborts with a typed error if the run stops advancing")
 		degrade  = flag.Bool("degrade", false, "on a recoverable fault, retry one technique rung down instead of failing")
 		retries  = flag.Int("max-retries", 2, "ladder descents allowed (with -degrade)")
+		ckptDir  = flag.String("checkpoint-dir", "", "write crash-safe state snapshots into this directory (empty = disabled)")
+		ckptN    = flag.Uint64("checkpoint-every", 1_000_000, "snapshot interval in retired instructions (with -checkpoint-dir)")
+		resume   = flag.Bool("resume", false, "resume from the latest snapshot in -checkpoint-dir instead of starting from zero")
 	)
 	var obsFlags cliobs.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -86,10 +99,19 @@ func main() {
 	if err != nil {
 		fatalf("observability: %v", err)
 	}
+	// SIGINT/SIGTERM cancel the run cleanly: the simulation stops at its
+	// next lane boundary, the partial result prints annotated, and the
+	// process exits nonzero. A second signal kills the process outright
+	// (the default behavior NotifyContext restores after the first).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	obsLabel := *suite + "/" + *bench
 	if *wp == "all" {
-		compareAll(cfg, w, *suite, *bench, *maxInsts, *warmup, *parallel, *jobs, fault, obsCfg{metrics, tsink, obsLabel})
+		faulted := compareAll(ctx, cfg, w, *suite, *bench, *maxInsts, *warmup, *parallel, *jobs, fault, obsCfg{metrics, tsink, obsLabel}, *ckptDir, *ckptN)
 		finishObs(&obsFlags)
+		if faulted {
+			os.Exit(exitAnnotated)
+		}
 		return
 	}
 
@@ -108,11 +130,14 @@ func main() {
 	}
 	simCfg := sim.Config{Core: cfg, WP: kind, MaxInsts: budget, WarmupInsts: *warmup,
 		ParallelFrontend: *parallel, Watchdog: fault.Watchdog, Degrade: fault.Degrade,
-		Metrics: metrics, Trace: tsink, ObsLabel: obsLabel}
+		Metrics: metrics, Trace: tsink, ObsLabel: obsLabel,
+		Ctx: ctx, CheckpointDir: *ckptDir, CheckpointEvery: *ckptN}
 	var res *sim.Result
 	if simCfg.Degrade.Enabled() {
 		// Ladder path: the first attempt consumes the prebuilt instance,
-		// retries rebuild a fresh one.
+		// retries rebuild a fresh one. With -checkpoint-dir, retries (and
+		// re-runs over a non-empty directory) resume from the latest
+		// snapshot instead of from zero.
 		first := inst
 		res, err = sim.RunLadder(simCfg, func(c sim.Config) (sim.Source, error) {
 			if first != nil {
@@ -126,6 +151,8 @@ func main() {
 			}
 			return sim.NewFunctionalSource(c, retry), nil
 		})
+	} else if snap := latestSnapshot(*resume, *ckptDir); snap != "" {
+		res, err = sim.Resume(simCfg, inst, snap)
 	} else {
 		res, err = sim.Run(simCfg, inst)
 	}
@@ -134,6 +161,23 @@ func main() {
 	}
 	finishObs(&obsFlags)
 	printResult(*suite, *bench, kind, res)
+	if res.Err != nil || res.Degraded {
+		os.Exit(exitAnnotated)
+	}
+}
+
+// latestSnapshot resolves the -resume snapshot path, or "" for a fresh
+// run. -resume over an empty or missing directory starts from zero (the
+// first run of a crash-safe loop has nothing to resume).
+func latestSnapshot(resume bool, dir string) string {
+	if !resume || dir == "" {
+		return ""
+	}
+	snap, err := checkpoint.Latest(dir)
+	if err != nil {
+		fatalf("finding latest snapshot in %s: %v", dir, err)
+	}
+	return snap
 }
 
 // obsCfg threads the observability outputs into the comparison run.
@@ -166,12 +210,15 @@ func faultOptions(watchdog time.Duration, degrade bool, retries int) faultConfig
 
 // compareAll runs the workload under every technique (in
 // wrongpath.Kinds() order) on the batch engine and prints a one-line
-// comparison per kind, with wpemul as the error reference.
-func compareAll(cfg core.Config, w workloads.Workload, suite, bench string, maxInsts, warmup uint64, parallel bool, jobs int, fault faultConfig, oc obsCfg) {
+// comparison per kind, with wpemul as the error reference. It returns
+// whether any cell carries a fault annotation — the caller turns that
+// into a nonzero exit after the full table has printed.
+func compareAll(ctx context.Context, cfg core.Config, w workloads.Workload, suite, bench string, maxInsts, warmup uint64, parallel bool, jobs int, fault faultConfig, oc obsCfg, ckptDir string, ckptN uint64) bool {
 	kinds := wrongpath.Kinds()
 	simCfg := sim.Config{Core: cfg, MaxInsts: maxInsts, WarmupInsts: warmup, ParallelFrontend: parallel,
 		Watchdog: fault.Watchdog, Degrade: fault.Degrade,
-		Metrics: oc.metrics, Trace: oc.trace, ObsLabel: oc.label}
+		Metrics: oc.metrics, Trace: oc.trace, ObsLabel: oc.label,
+		Ctx: ctx, CheckpointDir: ckptDir, CheckpointEvery: ckptN}
 	results, err := sim.RunKinds(simCfg, w, kinds, jobs)
 	if err != nil {
 		fatalf("%v", err)
@@ -185,6 +232,7 @@ func compareAll(cfg core.Config, w workloads.Workload, suite, bench string, maxI
 	fmt.Printf("workload   %s/%s\n\n", suite, bench)
 	fmt.Printf("%-10s %12s %12s %8s %10s %12s %12s\n",
 		"technique", "insts", "cycles", "IPC", "vs wpemul", "WP executed", "wall")
+	faulted := false
 	for i, k := range kinds {
 		res := results[i]
 		errCol := "(ref)"
@@ -192,8 +240,13 @@ func compareAll(cfg core.Config, w workloads.Workload, suite, bench string, maxI
 			errCol = fmt.Sprintf("%+.1f%%", 100*sim.Error(res, ref))
 		}
 		note := ""
-		if res.Degraded {
+		switch {
+		case res.Degraded:
 			note = fmt.Sprintf("  DEGRADED(ran as %v)", res.WP)
+			faulted = true
+		case res.Err != nil:
+			note = fmt.Sprintf("  FAULT(%v)", firstLineOf(res.Err.Error()))
+			faulted = true
 		}
 		fmt.Printf("%-10s %12d %12d %8.4f %10s %12d %12v%s\n",
 			k, res.Core.Instructions, res.Core.Cycles, res.IPC(),
@@ -202,11 +255,15 @@ func compareAll(cfg core.Config, w workloads.Workload, suite, bench string, maxI
 	if jobs != 1 {
 		fmt.Printf("\n(wall clocks from concurrent runs; use -jobs 1 for calibrated timing)\n")
 	}
-	for i, k := range kinds {
-		if results[i].Err != nil && !results[i].Degraded {
-			fatalf("%v run ended early: %v", k, results[i].Err)
-		}
+	return faulted
+}
+
+// firstLineOf truncates multi-line fault renderings for the table note.
+func firstLineOf(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
 	}
+	return s
 }
 
 func findWorkload(suite, bench string, n, degree int, kron, grid bool, seed uint64, scale float64) (workloads.Workload, error) {
@@ -288,10 +345,10 @@ func printResult(suite, bench string, kind wrongpath.Kind, res *sim.Result) {
 		fmt.Printf("program output      %q\n", res.Output)
 	}
 	if res.Err != nil {
+		// The caller exits with exitAnnotated: the stats above are still
+		// the truth up to the fault, and a canceled run's snapshot chain
+		// stays resumable.
 		fmt.Printf("functional error    %v\n", res.Err)
-		if !res.Degraded {
-			os.Exit(1)
-		}
 	}
 }
 

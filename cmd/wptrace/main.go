@@ -13,13 +13,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/checkpoint"
 	"repro/internal/cliobs"
 	"repro/internal/frontend"
 	"repro/internal/functional"
@@ -31,6 +35,13 @@ import (
 	"repro/internal/workloads/specproxy"
 	"repro/internal/wrongpath"
 )
+
+// exitAnnotated is the exit code for a replay that completed and
+// printed its report but carries a fault annotation (a degraded cell, a
+// canceled run, or a run-ending functional fault). Scripts that gate on
+// clean replays must see nonzero; exit 1 stays reserved for hard
+// failures that produce no report.
+const exitAnnotated = 3
 
 func main() {
 	var (
@@ -46,6 +57,9 @@ func main() {
 		watchdog = flag.Duration("watchdog", 0, "stall-watchdog budget for replay (0 = disabled)")
 		degrade  = flag.Bool("degrade", false, "replay mode: degrade one technique rung down on a recoverable fault; keep the valid prefix of a corrupt trace")
 		retries  = flag.Int("max-retries", 2, "ladder descents allowed (with -degrade)")
+		ckptDir  = flag.String("checkpoint-dir", "", "replay mode: write crash-safe state snapshots into this directory (empty = disabled)")
+		ckptN    = flag.Uint64("checkpoint-every", 1_000_000, "snapshot interval in retired instructions (with -checkpoint-dir)")
+		resume   = flag.Bool("resume", false, "replay mode: resume from the latest snapshot in -checkpoint-dir (the trace is re-opened and skipped to the snapshot's cursor)")
 	)
 	var obsFlags cliobs.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -99,10 +113,18 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("observability: %w", err))
 		}
+		// SIGINT/SIGTERM cancel the replay cleanly: it stops at the next
+		// lane boundary, the partial result prints annotated, and the
+		// process exits nonzero.
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stopSignals()
 		if *wp == "all" {
-			replayAll(*replay, *maxInsts, *jobs, *watchdog, metrics, tsink)
+			faulted := replayAll(ctx, *replay, *maxInsts, *jobs, *watchdog, metrics, tsink)
 			if err := obsFlags.Finish(); err != nil {
 				fatal(fmt.Errorf("observability: %w", err))
+			}
+			if faulted {
+				os.Exit(exitAnnotated)
 			}
 			return
 		}
@@ -119,11 +141,13 @@ func main() {
 		cfg.Core.Batch = *batch
 		cfg.Watchdog = *watchdog
 		cfg.Metrics, cfg.Trace, cfg.ObsLabel = metrics, tsink, "trace:"+*replay
+		cfg.Ctx, cfg.CheckpointDir, cfg.CheckpointEvery = ctx, *ckptDir, *ckptN
 		var res *sim.Result
 		if *degrade {
 			// Ladder replay: every attempt replays a fresh reader over the
 			// same bytes; a corrupt tail keeps the valid prefix, and an
 			// unsupported technique (wpemul on a trace) runs a rung down.
+			// With -checkpoint-dir, retries resume from the last snapshot.
 			cfg.Degrade = sim.DegradePolicy{MaxRetries: *retries}
 			res, err = sim.RunLadder(cfg, func(c sim.Config) (sim.Source, error) {
 				r, err := tracefile.NewReader(bytes.NewReader(data))
@@ -140,17 +164,26 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			res, err = sim.RunTrace(cfg, r)
+			if snap := latestSnapshot(*resume, *ckptDir); snap != "" {
+				res, err = sim.ResumeTrace(cfg, r, snap)
+			} else {
+				res, err = sim.RunTrace(cfg, r)
+			}
 			if err != nil {
 				fatal(err)
 			}
-			if r.Err() != nil {
-				fatal(r.Err())
-			}
 		}
 		fmt.Printf("technique      %s\n", kind)
+		faulted := false
 		if res.Degraded {
 			fmt.Printf("DEGRADED       ran as %v (requested %v): %v\n", res.WP, res.RequestedWP, res.DegradeFault)
+			faulted = true
+		} else if res.Err != nil {
+			// A replay that ended on a fault (corrupt tail, stall abort,
+			// cancellation) still prints its partial statistics, annotated —
+			// and must not exit 0 as if the replay were clean.
+			fmt.Printf("FAULT          %v\n", firstLineOf(res.Err.Error()))
+			faulted = true
 		}
 		fmt.Printf("instructions   %d\n", res.Core.Instructions)
 		fmt.Printf("cycles         %d\n", res.Core.Cycles)
@@ -160,6 +193,9 @@ func main() {
 		fmt.Printf("wall time      %v\n", res.Wall)
 		if err := obsFlags.Finish(); err != nil {
 			fatal(fmt.Errorf("observability: %w", err))
+		}
+		if faulted {
+			os.Exit(exitAnnotated)
 		}
 
 	default:
@@ -173,7 +209,10 @@ func main() {
 // bytes, fanned out on the batch engine. Supported kinds are selected
 // by the Source capability check, not a hard-coded list: a trace source
 // cannot emulate wrong paths (paper §III-B), so wpemul is skipped.
-func replayAll(path string, maxInsts uint64, jobs int, watchdog time.Duration, metrics *obs.Registry, tsink *obs.TraceSink) {
+// Faulted cells (corrupt tail, stall abort, cancellation) render
+// annotated instead of killing the table mid-report; the returned flag
+// makes the caller exit nonzero after the table has printed.
+func replayAll(ctx context.Context, path string, maxInsts uint64, jobs int, watchdog time.Duration, metrics *obs.Registry, tsink *obs.TraceSink) bool {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -197,31 +236,55 @@ func replayAll(path string, maxInsts uint64, jobs int, watchdog time.Duration, m
 			cfg.MaxInsts = maxInsts
 			cfg.Watchdog = watchdog
 			cfg.Metrics, cfg.Trace, cfg.ObsLabel = metrics, tsink, "trace:"+path
-			res, err := sim.RunTrace(cfg, r)
-			if err != nil {
-				return nil, err
-			}
-			if r.Err() != nil {
-				return nil, r.Err()
-			}
-			return res, nil
+			cfg.Ctx = ctx
+			return sim.RunTrace(cfg, r)
 		}
 	}
-	results := batch.Run(runJobs, jobs)
-	if err := batch.FirstErr(results); err != nil {
-		fatal(err)
-	}
+	results := batch.RunContext(ctx, runJobs, jobs)
 	fmt.Printf("%-10s %12s %12s %8s %12s %12s\n",
 		"technique", "insts", "cycles", "IPC", "WP executed", "wall")
+	faulted := false
 	for i, k := range kinds {
+		if err := results[i].Err; err != nil {
+			fmt.Printf("%-10s FAULT: %v\n", k, firstLineOf(err.Error()))
+			faulted = true
+			continue
+		}
 		res := results[i].Value
-		fmt.Printf("%-10s %12d %12d %8.4f %12d %12v\n",
+		note := ""
+		if res.Err != nil {
+			note = fmt.Sprintf("  FAULT(%v)", firstLineOf(res.Err.Error()))
+			faulted = true
+		}
+		fmt.Printf("%-10s %12d %12d %8.4f %12d %12v%s\n",
 			k, res.Core.Instructions, res.Core.Cycles, res.IPC(),
-			res.Core.WPExecuted, res.Wall.Round(1_000_000))
+			res.Core.WPExecuted, res.Wall.Round(1_000_000), note)
 	}
 	if jobs != 1 {
 		fmt.Printf("\n(wall clocks from concurrent runs; use -jobs 1 for calibrated timing)\n")
 	}
+	return faulted
+}
+
+// latestSnapshot resolves the -resume snapshot path, or "" for a fresh
+// replay (an empty or missing directory has nothing to resume).
+func latestSnapshot(resume bool, dir string) string {
+	if !resume || dir == "" {
+		return ""
+	}
+	snap, err := checkpoint.Latest(dir)
+	if err != nil {
+		fatal(fmt.Errorf("finding latest snapshot in %s: %w", dir, err))
+	}
+	return snap
+}
+
+// firstLineOf truncates multi-line fault renderings for table notes.
+func firstLineOf(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 func findWorkload(suite, bench string) (workloads.Workload, error) {

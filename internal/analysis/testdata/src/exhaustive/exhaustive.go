@@ -130,7 +130,7 @@ func RenamedExhaustive(k localKind) bool {
 // SentinelSwitch dispatches on the fault classification but ignores
 // half the taxonomy: flagged.
 func SentinelSwitch(err error) string {
-	switch err { // want: missing ErrConfig, ErrDegraded, ErrTraceCorrupt
+	switch err { // want: missing ErrCanceled, ErrConfig, ErrDegraded, ErrTraceCorrupt
 	case simerr.ErrStall:
 		return "stall"
 	case simerr.ErrWorkerPanic:
@@ -156,7 +156,7 @@ func SentinelSwitchComplete(err error) bool {
 	switch err {
 	case simerr.ErrTraceCorrupt, simerr.ErrStall, simerr.ErrWorkerPanic:
 		return true
-	case simerr.ErrUnsupported, simerr.ErrDegraded, simerr.ErrConfig:
+	case simerr.ErrUnsupported, simerr.ErrDegraded, simerr.ErrConfig, simerr.ErrCanceled:
 		return false
 	}
 	return false

@@ -13,6 +13,7 @@
 package batch
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -45,6 +46,20 @@ func DefaultWorkers() int { return runtime.NumCPU() }
 // jobs run to completion and result order is preserved, so one
 // crashing cell never takes down a sweep.
 func Run[T any](jobs []func() (T, error), workers int) []Result[T] {
+	return RunContext(context.Background(), jobs, workers)
+}
+
+// RunContext is Run with cancellation: once ctx is done, no new job is
+// started. Jobs already in flight run to completion — each job is
+// expected to observe the same context itself (sim.Config.Ctx) and
+// return early with its own typed cancellation fault — and every job
+// that never started gets a simerr.ErrCanceled Result.Err, so a
+// canceled sweep reports exactly which cells ran and which were
+// skipped. A nil ctx behaves like context.Background.
+func RunContext[T any](ctx context.Context, jobs []func() (T, error), workers int) []Result[T] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]Result[T], len(jobs))
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -58,6 +73,10 @@ func Run[T any](jobs []func() (T, error), workers int) []Result[T] {
 				out[i].Err = simerr.WorkerPanic(fmt.Sprintf("batch job %d", i), rec, debug.Stack())
 			}
 		}()
+		if err := ctx.Err(); err != nil {
+			out[i].Err = simerr.Canceled(fmt.Sprintf("batch job %d", i), err)
+			return
+		}
 		if jobs[i] != nil {
 			out[i].Value, out[i].Err = jobs[i]()
 		}

@@ -1,0 +1,384 @@
+// Package checkpoint implements the snapshot codec for crash-safe
+// checkpoint/resume: a versioned, checksummed binary container that the
+// stateful simulator packages (functional, queue, core, cache, branch,
+// frontend, wrongpath) serialize themselves into via SaveState and
+// restore themselves from via RestoreState.
+//
+// Layout of a finished snapshot:
+//
+//	magic "WPSNAP\x00\n" | format version u32 | payload | CRC-32 (IEEE) of payload
+//
+// The payload is a flat little-endian stream of fixed-width values and
+// length-prefixed byte strings. Every package opens its region with a
+// named, versioned section marker (Writer.Section / Reader.Section), so
+// a reader that drifts out of alignment — or a snapshot written by an
+// older field layout — fails loudly with a typed fault instead of
+// silently misinterpreting bytes. The wplint `checkpoint` analyzer
+// enforces the convention: a SaveState/RestoreState pair must reference
+// the same receiver fields and stamp the package's snapshotVersion
+// constant into its section, so adding a serialized field forces a
+// visible version bump.
+//
+// Decode errors are sticky: the first failure latches into the Reader
+// and every subsequent read returns zero values, so restore code can
+// decode a whole section and check Err once.
+//
+// Files are written atomically (temp file + rename) so a crash mid-write
+// never leaves a truncated snapshot under the name a resume would pick
+// up; a torn rename is caught by the checksum.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/simerr"
+)
+
+// FormatVersion is the container format version. Section versions (per
+// package) evolve independently; this one only changes when the header
+// or framing itself does.
+const FormatVersion = 1
+
+// magic identifies a snapshot file.
+const magic = "WPSNAP\x00\n"
+
+// sectionMark precedes every section header in the payload.
+const sectionMark byte = 0xA5
+
+// Writer accumulates a snapshot payload.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns an empty snapshot writer.
+func NewWriter() *Writer {
+	return &Writer{buf: make([]byte, 0, 1<<16)}
+}
+
+// Section opens a named, versioned region. Every SaveState method calls
+// it first with its package's snapshotVersion constant.
+func (w *Writer) Section(name string, version uint32) {
+	w.Byte(sectionMark)
+	w.String(name)
+	w.Uint32(version)
+}
+
+// Uint64 appends a fixed-width little-endian value.
+func (w *Writer) Uint64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// Uint32 appends a fixed-width little-endian value.
+func (w *Writer) Uint32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// Int64 appends a signed value (two's-complement in a Uint64 slot).
+func (w *Writer) Int64(v int64) { w.Uint64(uint64(v)) }
+
+// Int appends a host int (serialized as Int64).
+func (w *Writer) Int(v int) { w.Int64(int64(v)) }
+
+// Byte appends one byte.
+func (w *Writer) Byte(v byte) { w.buf = append(w.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.Byte(1)
+	} else {
+		w.Byte(0)
+	}
+}
+
+// Bytes appends a length-prefixed byte string.
+func (w *Writer) Bytes(p []byte) {
+	w.Uint64(uint64(len(p)))
+	w.buf = append(w.buf, p...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uint64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Uint64s appends a length-prefixed slice of fixed-width values.
+func (w *Writer) Uint64s(v []uint64) {
+	w.Uint64(uint64(len(v)))
+	for _, x := range v {
+		w.Uint64(x)
+	}
+}
+
+// Len returns the current payload size in bytes.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Finish frames the payload with the magic, format version and checksum
+// and returns the complete snapshot bytes. The writer remains usable
+// (further appends extend the payload for a later Finish).
+func (w *Writer) Finish() []byte {
+	out := make([]byte, 0, len(magic)+4+len(w.buf)+4)
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint32(out, FormatVersion)
+	out = append(out, w.buf...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(w.buf))
+	return out
+}
+
+// Reader decodes a snapshot payload. The first decode failure latches
+// (subsequent reads return zero values); check Err after a section.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// corrupt builds the package's typed decode fault: a snapshot that
+// fails structural validation is the same fault class as a corrupt
+// trace — bytes that cannot mean what they claim to mean.
+func corrupt(op string, at uint64, cause error) error {
+	return simerr.Corrupt(op, at, cause)
+}
+
+// Open validates the container framing (magic, format version,
+// checksum) and returns a Reader positioned at the start of the
+// payload. Every failure is a typed simerr.ErrTraceCorrupt fault.
+func Open(data []byte) (*Reader, error) {
+	min := len(magic) + 4 + 4
+	if len(data) < min {
+		return nil, corrupt("opening snapshot", uint64(len(data)),
+			fmt.Errorf("checkpoint: %d bytes is shorter than the %d-byte frame", len(data), min))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, corrupt("opening snapshot", 0,
+			fmt.Errorf("checkpoint: bad magic %q", data[:len(magic)]))
+	}
+	ver := binary.LittleEndian.Uint32(data[len(magic):])
+	if ver != FormatVersion {
+		return nil, corrupt("opening snapshot", uint64(len(magic)),
+			fmt.Errorf("checkpoint: format version %d, want %d", ver, FormatVersion))
+	}
+	payload := data[len(magic)+4 : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, corrupt("opening snapshot", uint64(len(data)-4),
+			fmt.Errorf("checkpoint: checksum %#x, want %#x", got, want))
+	}
+	return &Reader{data: payload}, nil
+}
+
+// fail latches the first decode error.
+func (r *Reader) fail(cause error) {
+	if r.err == nil {
+		r.err = corrupt("decoding snapshot", uint64(r.off), cause)
+	}
+}
+
+// Err returns the latched decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Section validates a section header written by Writer.Section. A name
+// or version mismatch latches and returns the typed fault, so restore
+// paths abort before misreading another package's bytes.
+func (r *Reader) Section(name string, version uint32) error {
+	if b := r.Byte(); r.err == nil && b != sectionMark {
+		r.fail(fmt.Errorf("checkpoint: expected section %q, found stray byte %#x", name, b))
+	}
+	got := r.String()
+	if r.err == nil && got != name {
+		r.fail(fmt.Errorf("checkpoint: section %q, want %q", got, name))
+	}
+	ver := r.Uint32()
+	if r.err == nil && ver != version {
+		r.fail(fmt.Errorf("checkpoint: section %q version %d, want %d", name, ver, version))
+	}
+	return r.err
+}
+
+// Uint64 decodes a fixed-width value.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.data) {
+		r.fail(io.ErrUnexpectedEOF)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+// Uint32 decodes a fixed-width value.
+func (r *Reader) Uint32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.data) {
+		r.fail(io.ErrUnexpectedEOF)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+// Int64 decodes a signed value.
+func (r *Reader) Int64() int64 { return int64(r.Uint64()) }
+
+// Int decodes a host int.
+func (r *Reader) Int() int { return int(r.Int64()) }
+
+// Byte decodes one byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.data) {
+		r.fail(io.ErrUnexpectedEOF)
+		return 0
+	}
+	v := r.data[r.off]
+	r.off++
+	return v
+}
+
+// Bool decodes a boolean.
+func (r *Reader) Bool() bool {
+	switch b := r.Byte(); {
+	case r.err != nil:
+		return false
+	case b > 1:
+		r.fail(fmt.Errorf("checkpoint: bool byte %#x", b))
+		return false
+	default:
+		return b == 1
+	}
+}
+
+// Bytes decodes a length-prefixed byte string. The returned slice
+// aliases the snapshot buffer; copy it to retain it.
+func (r *Reader) Bytes() []byte {
+	n := r.Uint64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.data)-r.off) {
+		r.fail(fmt.Errorf("checkpoint: byte string of %d with %d bytes left", n, len(r.data)-r.off))
+		return nil
+	}
+	v := r.data[r.off : r.off+int(n)]
+	r.off += int(n)
+	return v
+}
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes()) }
+
+// Uint64s decodes a slice written by Writer.Uint64s.
+func (r *Reader) Uint64s() []uint64 {
+	n := r.Uint64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.data)-r.off)/8 {
+		r.fail(fmt.Errorf("checkpoint: uint64 slice of %d with %d bytes left", n, len(r.data)-r.off))
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64()
+	}
+	return out
+}
+
+// Uint64sInto decodes a slice written by Writer.Uint64s into dst,
+// failing when the stored length differs — the validator for
+// configuration-sized state (predictor tables, pipeline rings) whose
+// dimensions must match the resuming configuration.
+func (r *Reader) Uint64sInto(dst []uint64) {
+	n := r.Uint64()
+	if r.err != nil {
+		return
+	}
+	if n != uint64(len(dst)) {
+		r.fail(fmt.Errorf("checkpoint: uint64 slice of %d, want %d (configuration mismatch?)", n, len(dst)))
+		return
+	}
+	for i := range dst {
+		dst[i] = r.Uint64()
+	}
+}
+
+// --- snapshot files ---
+
+const (
+	filePrefix = "ckpt-"
+	fileSuffix = ".wpsnap"
+	tmpSuffix  = ".tmp"
+)
+
+// FileName returns the canonical snapshot file name for an instruction
+// count. Zero-padding makes lexical order equal numeric order, which is
+// what Latest relies on.
+func FileName(insts uint64) string {
+	return fmt.Sprintf("%s%020d%s", filePrefix, insts, fileSuffix)
+}
+
+// WriteFile atomically writes a finished snapshot: the bytes land in a
+// temp file first and are renamed into place, so a crash mid-write
+// leaves no partially-written file under a name Latest would return.
+func WriteFile(path string, data []byte) error {
+	tmp := path + tmpSuffix
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// ReadFile opens a snapshot file and validates its framing.
+func ReadFile(path string) (*Reader, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Open(data)
+}
+
+// Latest returns the path of the newest (highest instruction count)
+// snapshot in dir, or "" when the directory holds none (including when
+// it does not exist — a fresh run's state).
+func Latest(dir string) (string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", nil
+		}
+		return "", err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, filePrefix) || !strings.HasSuffix(name, fileSuffix) {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return "", nil
+	}
+	sort.Strings(names)
+	return filepath.Join(dir, names[len(names)-1]), nil
+}

@@ -160,6 +160,13 @@ type Core struct {
 	// hook below it is a no-op behind one nil check).
 	obs *obs.View
 
+	// laneHook, when non-nil, runs at every measured-phase lane boundary
+	// — the only instant at which the core's transient state (lane
+	// buffer, wrong-path scratch) is provably empty, and therefore the
+	// only instant a checkpoint may be taken. Returning false stops the
+	// run (cancellation); the loop exits as if the stream had ended.
+	laneHook func() bool
+
 	stats Stats
 }
 
@@ -244,6 +251,12 @@ func (c *Core) SetObs(v *obs.View) {
 	c.q.SetObs(&v.Queue)
 }
 
+// SetLaneHook installs f to run at every measured-phase lane boundary
+// (nil uninstalls it). The sim layer uses it for checkpoint writes and
+// cancellation polls; a false return stops the run. Disabled runs pay
+// one nil check per lane.
+func (c *Core) SetLaneHook(f func() bool) { c.laneHook = f }
+
 // Stats returns the accumulated statistics.
 func (c *Core) Stats() Stats { return c.stats }
 
@@ -296,6 +309,13 @@ warmLoop:
 			if di.Exit {
 				break warmLoop
 			}
+		}
+		// Cancellation is honored at warmup lane boundaries too; the hook
+		// never checkpoints here (the measured instruction count is still
+		// zero, below any snapshot threshold).
+		if c.laneHook != nil && !c.laneHook() {
+			c.stats.Cycles = c.lastCommit
+			return c.stats
 		}
 	}
 	if warmup > 0 {
@@ -367,6 +387,9 @@ mainLoop:
 			}
 		}
 		c.laneN, c.lanePos = 0, 0
+		if c.laneHook != nil && !c.laneHook() {
+			break
+		}
 	}
 	c.laneN, c.lanePos = 0, 0
 	c.stats.Cycles = c.lastCommit

@@ -18,16 +18,21 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/simerr"
 	"repro/internal/workloads"
 	"repro/internal/workloads/gap"
 	"repro/internal/workloads/specproxy"
@@ -103,6 +108,30 @@ type Options struct {
 	// per-instruction consumption. Results are bit-identical at any
 	// size; the knob exists for throughput comparisons.
 	Batch int
+	// Ctx cancels the sweep: once done, no new cell starts, in-flight
+	// runs stop at their next lane boundary, the partial report stays
+	// flushed, and canceled cells are annotated INCOMPLETE in the
+	// footnote. nil means no cancellation.
+	Ctx context.Context
+	// CheckpointDir enables crash-safe sweeps: each cell snapshots its
+	// complete simulation state into its own subdirectory
+	// (dir/suite/workload/technique) every CheckpointEvery retired
+	// instructions. A re-run over the same directory resumes every cell
+	// from its latest snapshot and produces a report byte-identical to
+	// an uninterrupted sweep. Empty disables.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot interval in retired instructions
+	// (0 with CheckpointDir set disables snapshots).
+	CheckpointEvery uint64
+	// Resume makes every cell restart from its latest snapshot under
+	// CheckpointDir (cells with no snapshot run from zero) — the
+	// crash-recovery path after a killed sweep. The resumed report is
+	// byte-identical to an uninterrupted one. (The degradation ladder
+	// resumes its own retries regardless of this flag.)
+	Resume bool
+	// OnCheckpoint, when non-nil, observes every snapshot write (the
+	// chaos harness's kill hook). It runs on the simulating goroutine.
+	OnCheckpoint func(insts uint64, path string)
 }
 
 func (o *Options) fill() {
@@ -129,6 +158,9 @@ type Runner struct {
 	// as a footnote. Empty for fault-free sweeps, keeping their report
 	// bytes identical to a runner without the fault-tolerance layer.
 	degraded []string
+	// incomplete accumulates one annotation line per cell the sweep's
+	// cancellation cut short (never started, or stopped mid-run).
+	incomplete []string
 }
 
 // NewRunner creates a Runner.
@@ -178,7 +210,15 @@ func (r *Runner) simulate(w workloads.Workload, k wrongpath.Kind) (*sim.Result, 
 		Watchdog: r.opt.Watchdog,
 		Degrade:  sim.DegradePolicy{MaxRetries: r.opt.MaxRetries},
 		Metrics:  r.opt.Metrics, Trace: r.opt.Trace,
-		ObsLabel: w.Suite + "/" + w.Name}
+		ObsLabel: w.Suite + "/" + w.Name,
+		Ctx:      r.opt.Ctx}
+	if r.opt.CheckpointDir != "" {
+		// One snapshot lineage per cell: the fingerprint ties a snapshot
+		// to its configuration, the path ties it to its cell.
+		cfg.CheckpointDir = filepath.Join(r.opt.CheckpointDir, w.Suite, w.Name, k.String())
+		cfg.CheckpointEvery = r.opt.CheckpointEvery
+		cfg.OnCheckpoint = r.opt.OnCheckpoint
+	}
 	var res *sim.Result
 	if r.faultLayer() {
 		first := inst
@@ -197,6 +237,8 @@ func (r *Runner) simulate(w workloads.Workload, k wrongpath.Kind) (*sim.Result, 
 			}
 			return src, nil
 		})
+	} else if snap := r.latestSnapshot(cfg); snap != "" {
+		res, err = sim.Resume(cfg, inst, snap)
 	} else {
 		res, err = sim.Run(cfg, inst)
 	}
@@ -207,6 +249,24 @@ func (r *Runner) simulate(w workloads.Workload, k wrongpath.Kind) (*sim.Result, 
 		return nil, fmt.Errorf("%s under %v: functional error: %w", cacheKey(w, k), k, res.Err)
 	}
 	return res, nil
+}
+
+// latestSnapshot returns the cell's newest resumable snapshot, or "".
+// (The ladder path finds its own snapshots inside sim.RunLadder.)
+func (r *Runner) latestSnapshot(cfg sim.Config) string {
+	if !r.opt.Resume || cfg.CheckpointDir == "" || cfg.CheckpointEvery == 0 {
+		return ""
+	}
+	snap, err := checkpoint.Latest(cfg.CheckpointDir)
+	if err != nil {
+		return ""
+	}
+	return snap
+}
+
+// noteIncomplete records a canceled cell for the INCOMPLETE footnote.
+func (r *Runner) noteIncomplete(key string, err error) {
+	r.incomplete = append(r.incomplete, fmt.Sprintf("%s: %s", key, firstLine(err.Error())))
 }
 
 // record memoizes one finished run, emits its progress line, and notes
@@ -263,13 +323,25 @@ func (r *Runner) prefetch(works []workloads.Workload, kinds []wrongpath.Kind) er
 		u := todo[i]
 		jobs[i] = func() (*sim.Result, error) { return r.simulate(u.w, u.k) }
 	}
-	for i, br := range batch.Run(jobs, r.workers()) {
-		if br.Err != nil {
+	// Cancellation sweeps through here: cells in flight stop at a lane
+	// boundary with a canceled fault, cells not yet started are skipped
+	// with one. Every canceled cell is annotated before the sweep's
+	// error propagates, so the flushed partial report names them all.
+	var canceled error
+	for i, br := range batch.RunContext(r.opt.Ctx, jobs, r.workers()) {
+		switch {
+		case br.Err == nil:
+			r.record(todo[i].key, br.Value)
+		case errors.Is(br.Err, simerr.ErrCanceled):
+			r.noteIncomplete(todo[i].key, br.Err)
+			if canceled == nil {
+				canceled = fmt.Errorf("%s: %w", todo[i].key, br.Err)
+			}
+		default:
 			return fmt.Errorf("%s: %w", todo[i].key, br.Err)
 		}
-		r.record(todo[i].key, br.Value)
 	}
-	return nil
+	return canceled
 }
 
 // result runs (or recalls) one workload under one technique, serially.
@@ -282,6 +354,9 @@ func (r *Runner) result(w workloads.Workload, k wrongpath.Kind) (*sim.Result, er
 	}
 	res, err := r.simulate(w, k)
 	if err != nil {
+		if errors.Is(err, simerr.ErrCanceled) {
+			r.noteIncomplete(key, err)
+		}
 		return nil, err
 	}
 	r.record(key, res)
@@ -619,13 +694,16 @@ var registry = map[string]func(*Runner) error{
 // Run executes one named experiment. Cells the degradation ladder ran
 // below their requested technique during this experiment are listed in
 // a footnote; a fault-free experiment prints no footnote, keeping its
-// bytes identical to a run without the fault-tolerance layer.
+// bytes identical to a run without the fault-tolerance layer. A
+// canceled sweep still flushes the partial report plus an INCOMPLETE
+// footnote naming every cell the cancellation cut short, then returns
+// the canceled error.
 func (r *Runner) Run(name string) error {
 	fn, ok := registry[name]
 	if !ok {
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
-	mark := len(r.degraded)
+	mark, imark := len(r.degraded), len(r.incomplete)
 	err := fn(r)
 	if len(r.degraded) > mark {
 		r.printf("\nDEGRADED CELLS (fault-tolerance ladder, see DESIGN.md):\n")
@@ -633,8 +711,21 @@ func (r *Runner) Run(name string) error {
 			r.printf("  %s\n", note)
 		}
 	}
+	if len(r.incomplete) > imark {
+		r.printf("\nINCOMPLETE CELLS (run canceled; resume with the same -checkpoint-dir):\n")
+		for _, note := range r.incomplete[imark:] {
+			r.printf("  %s\n", note)
+		}
+	}
 	r.printf("\n")
 	return err
+}
+
+// Faulted reports whether any cell of the sweep so far carried a fault
+// annotation — a degraded-ladder descent or a cancellation cut. CLIs
+// use it to exit nonzero after flushing an annotated report.
+func (r *Runner) Faulted() bool {
+	return len(r.degraded)+len(r.incomplete) > 0
 }
 
 // All executes every experiment in paper order.

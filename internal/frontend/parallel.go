@@ -1,6 +1,7 @@
 package frontend
 
 import (
+	"context"
 	"runtime/debug"
 	"sync"
 
@@ -30,6 +31,7 @@ type Parallel struct {
 	src      interface{ Next() (trace.DynInst, bool) }
 	ch       chan []trace.DynInst
 	stop     chan struct{}
+	done     <-chan struct{} // run context's Done; nil = never fires
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
@@ -53,8 +55,24 @@ const DefaultDepth = 16
 
 // NewParallel starts the producer goroutine. Close must be called when
 // the consumer is done (sim.Run does this), otherwise the goroutine
-// leaks blocked on a full channel.
+// leaks blocked on a full channel. NewParallelContext removes that
+// footgun for cancellable runs.
 func NewParallel(src interface {
+	Next() (trace.DynInst, bool)
+}, batch, depth int) *Parallel {
+	return NewParallelContext(context.Background(), src, batch, depth)
+}
+
+// NewParallelContext is NewParallel bound to a run context: every
+// channel wait — producer sends and consumer receives alike — also
+// selects on ctx.Done, so a consumer that stops without calling Close
+// (a panic unwinding past the simulation loop, a canceled sweep cell)
+// cannot strand the producer goroutine blocked on a full channel.
+// Close is still required for a prompt, waited teardown; the context is
+// the backstop that turns a missed Close from a permanent goroutine
+// leak into an eventual exit. A nil ctx behaves like
+// context.Background (no backstop).
+func NewParallelContext(ctx context.Context, src interface {
 	Next() (trace.DynInst, bool)
 }, batch, depth int) *Parallel {
 	if batch <= 0 {
@@ -67,6 +85,9 @@ func NewParallel(src interface {
 		src:  src,
 		ch:   make(chan []trace.DynInst, depth),
 		stop: make(chan struct{}),
+	}
+	if ctx != nil {
+		p.done = ctx.Done()
 	}
 	p.wg.Add(1)
 	go func() {
@@ -96,6 +117,8 @@ func NewParallel(src interface {
 				case p.ch <- buf[:n]:
 				case <-p.stop:
 					return
+				case <-p.done:
+					return
 				}
 			}
 		}
@@ -110,6 +133,8 @@ func NewParallel(src interface {
 				case p.ch <- buf:
 					buf = make([]trace.DynInst, 0, batch)
 				case <-p.stop:
+					return
+				case <-p.done:
 					return
 				}
 			}
@@ -157,6 +182,9 @@ func (p *Parallel) Next() (trace.DynInst, bool) {
 		case <-p.stop:
 			p.eof = true
 			return trace.DynInst{}, false
+		case <-p.done:
+			p.eof = true
+			return trace.DynInst{}, false
 		}
 	}
 	di := p.cur[p.idx]
@@ -183,6 +211,9 @@ func (p *Parallel) NextBatch(dst []trace.DynInst) int {
 				}
 				p.cur, p.idx = batch, 0
 			case <-p.stop:
+				p.eof = true
+				return n
+			case <-p.done:
 				p.eof = true
 				return n
 			}

@@ -1,7 +1,10 @@
 package frontend_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/frontend"
 	"repro/internal/trace"
@@ -60,6 +63,43 @@ func TestParallelCloseEarly(t *testing.T) {
 	}
 	// Close is idempotent.
 	p.Close()
+}
+
+// TestParallelCancelNoLeak is the goroutine-leak regression test for
+// the consumer-stops-without-Close hazard: the producer goroutine sits
+// blocked on a full channel, the consumer abandons it (no Close — the
+// unwinding path a cancelled sweep cell takes), and the run context is
+// the only stop signal. The goroutine must exit.
+func TestParallelCancelNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	p := frontend.NewParallelContext(ctx, &countProducer{max: 1_000_000}, 64, 2)
+	for i := 0; i < 10; i++ {
+		if _, ok := p.Next(); !ok {
+			t.Fatal("early end")
+		}
+	}
+	// Abandon the consumer side entirely; cancellation alone must
+	// unblock the producer.
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("producer goroutine leaked after cancellation: %d goroutines, started with %d",
+				runtime.NumGoroutine(), before)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The consumer side also observes cancellation instead of blocking.
+	drained := 0
+	for {
+		if _, ok := p.Next(); !ok {
+			break
+		}
+		if drained++; drained > 64*2+64 {
+			t.Fatal("consumer kept receiving after cancellation beyond buffered batches")
+		}
+	}
 }
 
 func TestParallelDefaults(t *testing.T) {

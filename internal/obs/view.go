@@ -21,10 +21,12 @@ type View struct {
 	// when only tracing is enabled).
 	Queue QueueObs
 
-	track     *Track
-	wpGenNS   *Histogram
-	wdSamples *Counter
-	wdStalls  *Counter
+	track        *Track
+	wpGenNS      *Histogram
+	wdSamples    *Counter
+	wdStalls     *Counter
+	ckptWrites   *Counter
+	ckptRestores *Counter
 }
 
 // QueueObs is the decoupling queue's hook bundle; internal/queue holds
@@ -59,12 +61,14 @@ func (o *QueueObs) Enabled() bool {
 // instead so hot-path hooks reduce to one nil check.
 func NewView(reg *Registry, sink *TraceSink, workload, technique string) *View {
 	v := &View{
-		Workload:  workload,
-		Technique: technique,
-		track:     sink.Track(Key("run", workload, technique)),
-		wpGenNS:   reg.Histogram(Key("wrongpath_gen_latency_ns", workload, technique)),
-		wdSamples: reg.Counter(Key("watchdog_samples_total", workload, technique)),
-		wdStalls:  reg.Counter(Key("watchdog_stalls_total", workload, technique)),
+		Workload:     workload,
+		Technique:    technique,
+		track:        sink.Track(Key("run", workload, technique)),
+		wpGenNS:      reg.Histogram(Key("wrongpath_gen_latency_ns", workload, technique)),
+		wdSamples:    reg.Counter(Key("watchdog_samples_total", workload, technique)),
+		wdStalls:     reg.Counter(Key("watchdog_stalls_total", workload, technique)),
+		ckptWrites:   reg.Counter(Key("checkpoint_writes_total", workload, technique)),
+		ckptRestores: reg.Counter(Key("checkpoint_restores_total", workload, technique)),
 	}
 	v.Queue = QueueObs{
 		Occupancy:   reg.Histogram(Key("queue_occupancy", workload, technique)),
@@ -170,6 +174,31 @@ func (v *View) WatchdogSample(produced, popped uint64) {
 	}
 	v.wdSamples.Inc()
 	v.track.Instant("watchdog-sample", popped, Arg{"produced", produced}, Arg{"popped", popped})
+}
+
+// --- checkpoint hooks (called from the simulation goroutine at lane
+// boundaries) ---
+
+// CheckpointWrite records one snapshot written at the given retired
+// instruction count, with its serialized size. The trace timestamp is
+// the instruction count: snapshots sit on a fixed instruction grid, so
+// instants line up across techniques and across kill/resume chains.
+func (v *View) CheckpointWrite(insts, bytes uint64) {
+	if v == nil {
+		return
+	}
+	v.ckptWrites.Inc()
+	v.track.Instant("checkpoint-write", insts, Arg{"insts", insts}, Arg{"bytes", bytes})
+}
+
+// CheckpointRestore records a session state overwrite from a snapshot
+// taken at the given retired instruction count.
+func (v *View) CheckpointRestore(insts uint64) {
+	if v == nil {
+		return
+	}
+	v.ckptRestores.Inc()
+	v.track.Instant("checkpoint-restore", insts, Arg{"insts", insts})
 }
 
 // WatchdogStall records a fired stall verdict.

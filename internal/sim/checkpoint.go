@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/checkpoint"
+	"repro/internal/queue"
+	"repro/internal/simerr"
+	"repro/internal/workloads"
+)
+
+// sessionSnapshotVersion stamps the session-level snapshot header; bump
+// it when the header layout or the section order below changes.
+const sessionSnapshotVersion = 1
+
+// stateSource is the capability a Source needs for checkpointing: its
+// complete production-side state (functional CPU + memory + frontend
+// cursor, or trace cursor) serializes and restores deterministically.
+type stateSource interface {
+	Source
+	SaveState(w *checkpoint.Writer)
+	RestoreState(r *checkpoint.Reader) error
+}
+
+// checkpointState returns src's snapshot capability, or the typed fault
+// explaining why the source cannot checkpoint. Wrapped sources (fault
+// injectors, stream filters) are rejected explicitly even though their
+// embedded Source would promote the methods: the wrapper's own state —
+// which bytes it already corrupted, where its freeze point sits — is
+// not captured, so a restore through it would silently diverge.
+func checkpointState(src Source) (stateSource, error) {
+	if _, ok := src.(*wrappedSource); ok {
+		return nil, simerr.Unsupported("configuring checkpointing",
+			fmt.Errorf("sim: wrapped sources (fault injection, stream filters) cannot checkpoint"))
+	}
+	if fs, ok := src.(*functionalSource); ok && fs.par != nil {
+		return nil, simerr.Unsupported("configuring checkpointing",
+			fmt.Errorf("sim: the parallel frontend cannot checkpoint (in-flight producer batches are not deterministic state)"))
+	}
+	if ts, ok := src.(traceSource); ok {
+		if _, ok := ts.src.(interface{ Pos() uint64 }); !ok {
+			return nil, simerr.Unsupported("configuring checkpointing",
+				fmt.Errorf("sim: trace producer %T exposes no record cursor (Pos)", ts.src))
+		}
+	}
+	cs, ok := src.(stateSource)
+	if !ok {
+		return nil, simerr.Unsupported("configuring checkpointing",
+			fmt.Errorf("sim: source %T does not support state snapshots", src))
+	}
+	return cs, nil
+}
+
+// checkpointEnabled reports whether the configuration asks for
+// snapshots.
+func (c Config) checkpointEnabled() bool {
+	return c.CheckpointEvery > 0 && c.CheckpointDir != ""
+}
+
+// fingerprint summarizes every configuration parameter that the
+// serialized state depends on. A snapshot restores only into a session
+// whose fingerprint matches — otherwise configuration-sized structures
+// (rings, tables) or the simulated schedule itself would diverge from
+// the run that wrote it. The wrong-path technique and the consumer lane
+// size are deliberately absent: the snapshot instants and every
+// serialized structure are identical across lane sizes (lane batching
+// is bit-exact), and the degradation ladder resumes a snapshot one
+// technique rung down (the policy statistics section is simply skipped
+// on a technique mismatch).
+func (c Config) fingerprint() string {
+	return fmt.Sprintf("max=%d warm=%d lookahead=%d\n%s",
+		c.MaxInsts, c.WarmupInsts, c.lookahead(), DescribeConfig(c.Core))
+}
+
+// nextCheckpoint returns the first snapshot threshold past insts on the
+// every-grid — the alignment that keeps snapshot instants identical
+// between an uninterrupted run and any kill/resume chain.
+func nextCheckpoint(insts, every uint64) uint64 {
+	return every * (insts/every + 1)
+}
+
+// checkpointer writes snapshots from the core's lane hook. The first
+// write error latches and disables further snapshots; it surfaces in
+// Result.Err (lowest precedence) so a full-disk sweep cell is annotated
+// rather than silently unprotected.
+type checkpointer struct {
+	s     *Session
+	src   stateSource
+	dir   string
+	every uint64
+	next  uint64
+	err   error
+}
+
+// newCheckpointer validates the source capability and creates the
+// snapshot directory.
+func newCheckpointer(s *Session, src Source) (*checkpointer, error) {
+	cs, err := checkpointState(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(s.cfg.CheckpointDir, 0o755); err != nil {
+		return nil, err
+	}
+	return &checkpointer{
+		s:     s,
+		src:   cs,
+		dir:   s.cfg.CheckpointDir,
+		every: s.cfg.CheckpointEvery,
+		next:  nextCheckpoint(s.restoredInsts, s.cfg.CheckpointEvery),
+	}, nil
+}
+
+// onLane runs at every measured lane boundary: past the threshold, it
+// serializes the full session state and advances to the next grid
+// point.
+func (ck *checkpointer) onLane() {
+	if ck.err != nil {
+		return
+	}
+	insts := ck.s.core.Stats().Instructions
+	if insts < ck.next {
+		return
+	}
+	path, size, err := ck.write(insts)
+	if err != nil {
+		ck.err = err
+		return
+	}
+	ck.next = nextCheckpoint(insts, ck.every)
+	ck.s.view.CheckpointWrite(insts, uint64(size))
+	if ck.s.cfg.OnCheckpoint != nil {
+		ck.s.cfg.OnCheckpoint(insts, path)
+	}
+}
+
+// write serializes the session: header (fingerprint, instruction count,
+// technique), then source → queue → core → policy statistics. The
+// policy section is last so a technique-mismatched resume (ladder
+// downgrade) can stop reading before it.
+func (ck *checkpointer) write(insts uint64) (string, int, error) {
+	s := ck.s
+	w := checkpoint.NewWriter()
+	w.Section("sim/Session", sessionSnapshotVersion)
+	w.String(s.cfg.fingerprint())
+	w.Uint64(insts)
+	w.String(s.cfg.WP.String())
+	ck.src.SaveState(w)
+	s.queue.SaveState(w)
+	s.core.SaveState(w)
+	s.policy.Stats().SaveState(w)
+	data := w.Finish()
+	path := filepath.Join(ck.dir, checkpoint.FileName(insts))
+	if err := checkpoint.WriteFile(path, data); err != nil {
+		return "", 0, err
+	}
+	return path, len(data), nil
+}
+
+// Restore overwrites the session's freshly-built state with a snapshot.
+// It must be called before Run; the subsequent Run then skips the
+// warmup phase (the snapshot was taken inside the measured phase, past
+// warmup) and continues to a Result bit-identical to an uninterrupted
+// run. A fingerprint mismatch is a typed simerr.ErrConfig fault; decode
+// failures are typed corruption faults. On any error the session is
+// left partially overwritten and must be discarded.
+func (s *Session) Restore(r *checkpoint.Reader) error {
+	cs, err := checkpointState(s.src)
+	if err != nil {
+		return err
+	}
+	if err := r.Section("sim/Session", sessionSnapshotVersion); err != nil {
+		return err
+	}
+	fp := r.String()
+	insts := r.Uint64()
+	kind := r.String()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if fp != s.cfg.fingerprint() {
+		return simerr.Config("restoring snapshot",
+			fmt.Errorf("sim: snapshot was written under a different configuration\nsnapshot:\n%s\nresuming:\n%s", fp, s.cfg.fingerprint()))
+	}
+	if err := cs.RestoreState(r); err != nil {
+		return err
+	}
+	if err := s.queue.RestoreState(r); err != nil {
+		return err
+	}
+	if err := s.core.RestoreState(r); err != nil {
+		return err
+	}
+	if kind == s.cfg.WP.String() {
+		// Same technique: the policy statistics continue. On a ladder
+		// downgrade the snapshot's policy counters belong to the higher
+		// rung; the fresh policy starts its own count (the result is
+		// annotated as degraded either way).
+		if err := s.policy.Stats().RestoreState(r); err != nil {
+			return err
+		}
+	}
+	s.restored = true
+	s.restoredInsts = insts
+	s.view.CheckpointRestore(insts)
+	return nil
+}
+
+// Resume restores the snapshot at snapPath into a fresh session over
+// the workload instance and continues the run. The configuration must
+// match the one the snapshot was written under (fingerprint-checked);
+// the Result is bit-identical to an uninterrupted run of that
+// configuration.
+func Resume(cfg Config, inst *workloads.Instance, snapPath string) (*Result, error) {
+	r, err := checkpoint.ReadFile(snapPath)
+	if err != nil {
+		return nil, err
+	}
+	src := NewFunctionalSource(cfg, inst)
+	s, err := NewSession(cfg, src)
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	if err := s.Restore(r); err != nil {
+		src.Close()
+		return nil, err
+	}
+	res := s.Run()
+	cfg.publish(res)
+	return res, nil
+}
+
+// ResumeTrace is Resume for a pre-recorded trace: src must be a fresh
+// reader positioned at the start of the same trace (the snapshot's
+// cursor is replayed forward over it).
+func ResumeTrace(cfg Config, src queue.Producer, snapPath string) (*Result, error) {
+	r, err := checkpoint.ReadFile(snapPath)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewSession(cfg, NewTraceSource(src))
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Restore(r); err != nil {
+		return nil, err
+	}
+	res := s.Run()
+	cfg.publish(res)
+	return res, nil
+}
+
+// canceler is the cancellation watcher: a goroutine that interrupts the
+// source when the run's context is done, unblocking a producer stuck in
+// channel or I/O waits. The prompt-stop path is the core's lane hook
+// polling the context; this goroutine only exists to release blocked
+// waits. stop must be called exactly once.
+type canceler struct {
+	done chan struct{}
+	ack  chan struct{}
+}
+
+func startCanceler(ctx context.Context, src Source) *canceler {
+	c := &canceler{done: make(chan struct{}), ack: make(chan struct{})}
+	go func() {
+		defer close(c.ack)
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			interrupt(src)
+		}
+	}()
+	return c
+}
+
+func (c *canceler) stop() {
+	close(c.done)
+	<-c.ack
+}

@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/simerr"
+	"repro/internal/tracefile"
+	"repro/internal/workloads/gap"
+	"repro/internal/wrongpath"
+)
+
+// chaosSeed seeds the deterministic kill-point derivation; change it to
+// explore different checkpoint boundaries.
+const chaosSeed = 0x57505349_4D303821
+
+// killIndexFor derives the 1-based checkpoint index at which a chaos
+// cell is killed — pseudo-random across cells, bit-stable across runs
+// (the determinism rule bans math/rand; this is a splitmix64 step).
+func killIndexFor(seed uint64, kind, lane int) int {
+	x := seed + uint64(kind)*0x9E3779B97F4A7C15 + uint64(lane)*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int(x%3) + 1
+}
+
+// stripWall zeroes the only host-dependent Result field so the rest can
+// be compared bit-for-bit.
+func stripWall(r *Result) *Result {
+	c := *r
+	c.Wall = 0
+	return &c
+}
+
+// chaosConfig is the shared cell configuration: a short bounded run
+// with warmup (so resume must also reproduce the warmup-era state the
+// snapshot carries in its caches and predictor).
+func chaosConfig(k wrongpath.Kind, lane int) Config {
+	cfg := Default(k)
+	cfg.Core.Batch = lane
+	cfg.WarmupInsts = 10_000
+	cfg.MaxInsts = 40_000
+	return cfg
+}
+
+// TestCheckpointResumeBitIdentical is the chaos acceptance harness: for
+// every technique × lane size, run uninterrupted, then run again with
+// checkpointing and cancel at a seeded pseudo-random checkpoint
+// boundary, resume from the latest snapshot, and require the resumed
+// Result to be bit-identical to the uninterrupted one.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	w := gap.BFS(gap.TestParams())
+	for ki, k := range wrongpath.Kinds() {
+		for _, lane := range []int{1, 64} {
+			t.Run(k.String()+"/lane"+map[int]string{1: "1", 64: "64"}[lane], func(t *testing.T) {
+				cfg := chaosConfig(k, lane)
+				base, err := Run(cfg, w.MustBuild())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if base.Err != nil {
+					t.Fatalf("baseline fault: %v", base.Err)
+				}
+
+				dir := t.TempDir()
+				killAt := killIndexFor(chaosSeed, ki, lane)
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				ccfg := cfg
+				ccfg.Ctx = ctx
+				ccfg.CheckpointDir = dir
+				ccfg.CheckpointEvery = 8_000
+				seen := 0
+				ccfg.OnCheckpoint = func(insts uint64, path string) {
+					if seen++; seen == killAt {
+						cancel()
+					}
+				}
+				killed, err := Run(ccfg, w.MustBuild())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !errors.Is(killed.Err, simerr.ErrCanceled) {
+					t.Fatalf("killed run Err = %v, want ErrCanceled", killed.Err)
+				}
+				if killed.Core.Instructions >= base.Core.Instructions {
+					t.Fatalf("kill at checkpoint %d did not truncate the run (%d insts)", killAt, killed.Core.Instructions)
+				}
+
+				snap, err := checkpoint.Latest(dir)
+				if err != nil || snap == "" {
+					t.Fatalf("no snapshot after kill: %q, %v", snap, err)
+				}
+				rcfg := cfg
+				rcfg.CheckpointDir = dir
+				rcfg.CheckpointEvery = 8_000
+				resumed, err := Resume(rcfg, w.MustBuild(), snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resumed.Err != nil {
+					t.Fatalf("resumed fault: %v", resumed.Err)
+				}
+				if !reflect.DeepEqual(stripWall(base), stripWall(resumed)) {
+					t.Errorf("resumed result diverges from uninterrupted run\nbase:    %+v\nresumed: %+v", stripWall(base), stripWall(resumed))
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointingDisturbsNothing: enabling snapshots must not perturb
+// the simulation — a checkpointed run's Result is bit-identical to a
+// plain one.
+func TestCheckpointingDisturbsNothing(t *testing.T) {
+	w := gap.CC(gap.TestParams())
+	cfg := chaosConfig(wrongpath.ConvResolve, 64)
+	plain, err := Run(cfg, w.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := cfg
+	ccfg.CheckpointDir = t.TempDir()
+	ccfg.CheckpointEvery = 5_000
+	snapped, err := Run(ccfg, w.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapped.Err != nil {
+		t.Fatalf("checkpointed run fault: %v", snapped.Err)
+	}
+	if !reflect.DeepEqual(stripWall(plain), stripWall(snapped)) {
+		t.Errorf("checkpointing perturbed the run\nplain:   %+v\nsnapped: %+v", stripWall(plain), stripWall(snapped))
+	}
+	ents, err := os.ReadDir(ccfg.CheckpointDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) == 0 {
+		t.Error("checkpointed run wrote no snapshots")
+	}
+}
+
+// TestCheckpointGridStableAcrossLanes: the snapshot instants sit on the
+// instruction grid, so lane size 1 and 64 write snapshots at identical
+// retired-instruction counts — the property that makes a snapshot
+// resumable under a different lane size.
+func TestCheckpointGridStableAcrossLanes(t *testing.T) {
+	w := gap.BFS(gap.TestParams())
+	grids := map[int][]uint64{}
+	for _, lane := range []int{1, 64} {
+		cfg := chaosConfig(wrongpath.Conv, lane)
+		cfg.CheckpointDir = t.TempDir()
+		cfg.CheckpointEvery = 8_000
+		cfg.OnCheckpoint = func(insts uint64, path string) {
+			grids[lane] = append(grids[lane], insts)
+		}
+		res, err := Run(cfg, w.MustBuild())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	if len(grids[1]) == 0 || !reflect.DeepEqual(grids[1], grids[64]) {
+		t.Errorf("snapshot grids differ across lane sizes: lane1=%v lane64=%v", grids[1], grids[64])
+	}
+}
+
+// TestResumeAcrossLaneSizes: a snapshot written under lane size 64
+// resumes under lane size 1 and still reproduces the lane-1 baseline
+// exactly (lane batching is bit-exact, so the fingerprint excludes it).
+func TestResumeAcrossLaneSizes(t *testing.T) {
+	w := gap.BFS(gap.TestParams())
+	base, err := Run(chaosConfig(wrongpath.Conv, 1), w.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := chaosConfig(wrongpath.Conv, 64)
+	wcfg.CheckpointDir = t.TempDir()
+	wcfg.CheckpointEvery = 16_000
+	if res, err := Run(wcfg, w.MustBuild()); err != nil {
+		t.Fatal(err)
+	} else if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	snap, err := checkpoint.Latest(wcfg.CheckpointDir)
+	if err != nil || snap == "" {
+		t.Fatalf("no snapshot: %q, %v", snap, err)
+	}
+	resumed, err := Resume(chaosConfig(wrongpath.Conv, 1), w.MustBuild(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Err != nil {
+		t.Fatal(resumed.Err)
+	}
+	if !reflect.DeepEqual(stripWall(base), stripWall(resumed)) {
+		t.Errorf("cross-lane resume diverges\nbase:    %+v\nresumed: %+v", stripWall(base), stripWall(resumed))
+	}
+}
+
+// TestResumeTraceBitIdentical: the trace frontend checkpoints its
+// cursor; a killed replay resumes over a fresh reader of the same bytes
+// and matches the uninterrupted replay bit-for-bit.
+func TestResumeTraceBitIdentical(t *testing.T) {
+	raw := recordTrace(t)
+	reader := func() *tracefile.Reader {
+		r, err := tracefile.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	cfg := Default(wrongpath.Conv)
+	cfg.MaxInsts = 30_000
+	base, err := RunTrace(cfg, reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Err != nil {
+		t.Fatal(base.Err)
+	}
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ccfg := cfg
+	ccfg.Ctx = ctx
+	ccfg.CheckpointDir = dir
+	ccfg.CheckpointEvery = 10_000
+	ccfg.OnCheckpoint = func(insts uint64, path string) { cancel() }
+	killed, err := RunTrace(ccfg, reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(killed.Err, simerr.ErrCanceled) {
+		t.Fatalf("killed trace run Err = %v, want ErrCanceled", killed.Err)
+	}
+	snap, err := checkpoint.Latest(dir)
+	if err != nil || snap == "" {
+		t.Fatalf("no snapshot: %q, %v", snap, err)
+	}
+	resumed, err := ResumeTrace(cfg, reader(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Err != nil {
+		t.Fatal(resumed.Err)
+	}
+	if !reflect.DeepEqual(stripWall(base), stripWall(resumed)) {
+		t.Errorf("trace resume diverges\nbase:    %+v\nresumed: %+v", stripWall(base), stripWall(resumed))
+	}
+}
+
+// TestResumeFingerprintMismatch: a snapshot written under one
+// configuration must refuse to restore into another, as a typed
+// ErrConfig fault, not silent divergence.
+func TestResumeFingerprintMismatch(t *testing.T) {
+	w := gap.BFS(gap.TestParams())
+	cfg := chaosConfig(wrongpath.Conv, 64)
+	cfg.CheckpointDir = t.TempDir()
+	cfg.CheckpointEvery = 16_000
+	if res, err := Run(cfg, w.MustBuild()); err != nil {
+		t.Fatal(err)
+	} else if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	snap, err := checkpoint.Latest(cfg.CheckpointDir)
+	if err != nil || snap == "" {
+		t.Fatalf("no snapshot: %q, %v", snap, err)
+	}
+	bad := cfg
+	bad.MaxInsts = 50_000
+	if _, err := Resume(bad, w.MustBuild(), snap); !errors.Is(err, simerr.ErrConfig) {
+		t.Fatalf("mismatched resume err = %v, want ErrConfig", err)
+	}
+}
+
+// TestResumeCorruptSnapshot: flipping one payload byte must surface a
+// typed corruption fault from the checksum gate.
+func TestResumeCorruptSnapshot(t *testing.T) {
+	w := gap.BFS(gap.TestParams())
+	cfg := chaosConfig(wrongpath.NoWP, 64)
+	cfg.CheckpointDir = t.TempDir()
+	cfg.CheckpointEvery = 16_000
+	if res, err := Run(cfg, w.MustBuild()); err != nil {
+		t.Fatal(err)
+	} else if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	snap, err := checkpoint.Latest(cfg.CheckpointDir)
+	if err != nil || snap == "" {
+		t.Fatalf("no snapshot: %q, %v", snap, err)
+	}
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	mangled := filepath.Join(t.TempDir(), "mangled.wpsnap")
+	if err := os.WriteFile(mangled, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(cfg, w.MustBuild(), mangled); !errors.Is(err, simerr.ErrTraceCorrupt) {
+		t.Fatalf("corrupt resume err = %v, want ErrTraceCorrupt", err)
+	}
+}
+
+// TestCheckpointRejectsParallelFrontend: the mutual exclusion is a
+// loud, typed configuration error.
+func TestCheckpointRejectsParallelFrontend(t *testing.T) {
+	w := gap.BFS(gap.TestParams())
+	cfg := chaosConfig(wrongpath.NoWP, 64)
+	cfg.CheckpointDir = t.TempDir()
+	cfg.CheckpointEvery = 16_000
+	cfg.ParallelFrontend = true
+	if _, err := Run(cfg, w.MustBuild()); !errors.Is(err, simerr.ErrConfig) {
+		t.Fatalf("parallel+checkpoint err = %v, want ErrConfig", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"runtime/debug"
 
+	"repro/internal/checkpoint"
 	"repro/internal/simerr"
 	"repro/internal/wrongpath"
 )
@@ -63,6 +64,14 @@ func closeQuiet(src Source) {
 // panic anywhere in the attempt — a synchronous producer fault, a
 // policy bug — is recovered into a typed ErrWorkerPanic so the ladder
 // can decide, and the source is torn down.
+//
+// With checkpointing enabled, the rung resumes from the latest snapshot
+// in cfg.CheckpointDir instead of from zero: the previous rung's crash
+// already paid for the instructions up to that snapshot. A snapshot the
+// new rung cannot restore (a wpemul snapshot carries the emulation
+// predictor a lower-rung frontend does not have, or the file is
+// corrupt) falls back to a from-scratch run — degradation never fails
+// on its own recovery data.
 func attempt(cfg Config, mk func(Config) (Source, error)) (res *Result, err error) {
 	var src Source
 	defer func() {
@@ -73,14 +82,41 @@ func attempt(cfg Config, mk func(Config) (Source, error)) (res *Result, err erro
 			res, err = nil, simerr.WorkerPanic("simulation run", rec, debug.Stack())
 		}
 	}()
-	src, err = mk(cfg)
+	build := func() (*Session, error) {
+		var berr error
+		src, berr = mk(cfg)
+		if berr != nil {
+			return nil, berr
+		}
+		s, berr := NewSession(cfg, src)
+		if berr != nil {
+			closeQuiet(src)
+			src = nil
+			return nil, berr
+		}
+		return s, nil
+	}
+	s, err := build()
 	if err != nil {
 		return nil, err
 	}
-	s, err := NewSession(cfg, src)
-	if err != nil {
-		closeQuiet(src)
-		return nil, err
+	if cfg.checkpointEnabled() {
+		if snap, _ := checkpoint.Latest(cfg.CheckpointDir); snap != "" {
+			restored := false
+			if r, rerr := checkpoint.ReadFile(snap); rerr == nil {
+				restored = s.Restore(r) == nil
+			}
+			if !restored {
+				// The snapshot does not restore into this rung's session; a
+				// failed Restore leaves the session partially overwritten, so
+				// rebuild everything and run from zero.
+				closeQuiet(src)
+				src = nil
+				if s, err = build(); err != nil {
+					return nil, err
+				}
+			}
+		}
 	}
 	return s.Run(), nil
 }

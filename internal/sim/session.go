@@ -23,6 +23,13 @@ type Session struct {
 	policy wrongpath.Policy
 	core   *core.Core
 	view   *obs.View // nil when observability is disabled
+
+	// restored marks a session whose state was overwritten by a snapshot
+	// (Restore); Run then skips the warmup phase, which the snapshot has
+	// already passed through. restoredInsts is the snapshot's retired
+	// instruction count — the checkpoint grid resumes from there.
+	restored      bool
+	restoredInsts uint64
 }
 
 // NewSession validates the configuration against the source's
@@ -37,6 +44,15 @@ func NewSession(cfg Config, src Source) (*Session, error) {
 	if cfg.WP == wrongpath.WPEmul && !src.SupportsWPEmul() {
 		return nil, simerr.Unsupported("configuring session",
 			fmt.Errorf("sim: wrong-path emulation requires a live functional frontend, not a trace (paper §III-B)"))
+	}
+	if cfg.checkpointEnabled() {
+		if cfg.ParallelFrontend {
+			return nil, simerr.Config("configuring session",
+				fmt.Errorf("sim: checkpointing and the parallel frontend are mutually exclusive (results are bit-identical either way; drop one)"))
+		}
+		if _, err := checkpointState(src); err != nil {
+			return nil, err
+		}
 	}
 	s := &Session{cfg: cfg, src: src}
 	var producer queue.Producer = src
@@ -90,11 +106,43 @@ func (s *Session) Run() *Result {
 	if s.cfg.Watchdog > 0 {
 		wd = startWatchdog(s.cfg.watchdogClock(), s.cfg.Watchdog, s.tap, s.queue, s.src, s.cfg.WP.String(), s.view)
 	}
+	ctx := s.cfg.Ctx
+	var cn *canceler
+	if ctx != nil {
+		cn = startCanceler(ctx, s.src)
+	}
+	var ck *checkpointer
+	var ckErr error
+	if s.cfg.checkpointEnabled() {
+		ck, ckErr = newCheckpointer(s, s.src)
+	}
+	if ck != nil || ctx != nil {
+		// The lane hook is the deterministic supervision point: snapshots
+		// are written exactly at lane boundaries (the only instant the
+		// core's transient state is empty), and cancellation is honored
+		// there even when the source never blocks (so the canceler's
+		// interrupt alone would not stop it).
+		s.core.SetLaneHook(func() bool {
+			if ck != nil {
+				ck.onLane()
+			}
+			return ctx == nil || ctx.Err() == nil
+		})
+	}
+	warmup := s.cfg.WarmupInsts
+	if s.restored {
+		// The snapshot was taken inside the measured phase: warmup (and
+		// its statistics reset) already happened before it was written.
+		warmup = 0
+	}
 	start := clk.Now()
-	stats := s.core.RunWarmup(s.cfg.WarmupInsts, s.cfg.MaxInsts)
+	stats := s.core.RunWarmup(warmup, s.cfg.MaxInsts)
 	wall := clk.Now().Sub(start)
 	if wd != nil {
 		wd.stop()
+	}
+	if cn != nil {
+		cn.stop()
 	}
 	s.src.Close()
 
@@ -119,11 +167,31 @@ func (s *Session) Run() *Result {
 		res.DTLB = h.DTLB().Stats
 	}
 	s.src.Collect(res)
+	if res.Err == nil {
+		if ckErr != nil {
+			// Checkpointing could not even start; the run itself is
+			// complete, but the cell's crash-safety promise was broken.
+			res.Err = ckErr
+		} else if ck != nil && ck.err != nil {
+			res.Err = ck.err
+		}
+	}
 	if wd != nil {
 		if ferr := wd.Fault(); ferr != nil {
 			// The stall is the root cause of whatever truncated state
 			// Collect reported; it wins the Err slot.
 			res.Err = ferr
+		}
+	}
+	if ctx != nil && ctx.Err() != nil {
+		// Cancellation outranks everything: whatever else broke, the
+		// operator asked the run to stop, and the ladder must not retry.
+		res.Err = &simerr.Fault{
+			Kind:      simerr.ErrCanceled,
+			Op:        "simulation run",
+			Technique: s.cfg.WP.String(),
+			Consumed:  stats.Instructions,
+			Err:       ctx.Err(),
 		}
 	}
 	return res

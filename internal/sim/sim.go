@@ -13,7 +13,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -83,6 +85,31 @@ type Config struct {
 	// ObsLabel names the workload in metric labels and trace track names
 	// ("gap/bfs"); RunKinds fills it from the workload when empty.
 	ObsLabel string
+	// Ctx, when non-nil, cancels the run: when it is done, the source is
+	// interrupted, the simulation unwinds at the next lane boundary, and
+	// Result.Err carries a typed simerr.ErrCanceled fault. Cancellation
+	// is an instruction, not a malfunction — the degradation ladder never
+	// retries it. nil means the run cannot be canceled.
+	Ctx context.Context
+	// CheckpointDir, with CheckpointEvery > 0, enables crash-safe
+	// checkpointing: the complete deterministic simulation state is
+	// written to a versioned, checksummed snapshot file in this directory
+	// at the first lane boundary past every CheckpointEvery retired
+	// instructions. Resume/ResumeTrace (and the degradation ladder's
+	// retry path) restore the newest snapshot and continue to a
+	// bit-identical Result. Checkpointing requires a snapshot-capable
+	// source: the synchronous functional frontend or a trace reader —
+	// not the parallel frontend (its producer goroutine's in-flight
+	// batches are not deterministic state) and not fault-injection
+	// wrappers.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot interval in retired instructions;
+	// 0 disables checkpointing.
+	CheckpointEvery uint64
+	// OnCheckpoint, when non-nil, is invoked synchronously on the
+	// simulation goroutine after every successful snapshot write — the
+	// chaos harness's kill-point hook. It must not touch the session.
+	OnCheckpoint func(insts uint64, path string)
 }
 
 // clock returns the configured Clock, defaulting to the wall clock.
@@ -222,6 +249,12 @@ func RunKinds(cfg Config, w workloads.Workload, kinds []wrongpath.Kind, workers 
 			if c.obsEnabled() && c.ObsLabel == "" {
 				c.ObsLabel = w.Suite + "/" + w.Name
 			}
+			if c.CheckpointDir != "" {
+				// One snapshot directory per technique: concurrent cells
+				// must never overwrite each other's snapshots, and a resume
+				// must find its own technique's file.
+				c.CheckpointDir = filepath.Join(c.CheckpointDir, k.String())
+			}
 			var r *Result
 			if c.Degrade.Enabled() {
 				// Ladder path: the first attempt consumes the prebuilt
@@ -249,7 +282,7 @@ func RunKinds(cfg Config, w workloads.Workload, kinds []wrongpath.Kind, workers 
 			return r, nil
 		}
 	}
-	results := batch.Run(jobs, workers)
+	results := batch.RunContext(cfg.Ctx, jobs, workers)
 	if err := batch.FirstErr(results); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"fmt"
+
+	"repro/internal/checkpoint"
 	"repro/internal/frontend"
 	"repro/internal/functional"
 	"repro/internal/isa"
@@ -68,7 +71,10 @@ func NewFunctionalSource(cfg Config, inst *workloads.Instance) Source {
 	fe := frontend.New(cpu, opts...)
 	s := &functionalSource{cpu: cpu, fe: fe, producer: fe}
 	if cfg.ParallelFrontend {
-		s.par = frontend.NewParallel(fe, frontend.DefaultBatch, frontend.DefaultDepth)
+		// The run context backstops the producer goroutine: if the
+		// consumer stops without Close (cancellation unwinding a sweep
+		// cell), the goroutine exits instead of leaking on a full channel.
+		s.par = frontend.NewParallelContext(cfg.Ctx, fe, frontend.DefaultBatch, frontend.DefaultDepth)
 		s.producer = s.par
 	}
 	return s
@@ -104,6 +110,20 @@ func (s *functionalSource) Interrupt() {
 		return
 	}
 	interrupt(s.producer)
+}
+
+// SaveState serializes the complete production-side state — frontend
+// cursor, emulation predictor copy, functional CPU and memory — by
+// delegating to the frontend. Only the synchronous mode checkpoints
+// (the session layer rejects the parallel frontend), so no goroutine
+// state exists to capture.
+func (s *functionalSource) SaveState(w *checkpoint.Writer) {
+	s.fe.SaveState(w)
+}
+
+// RestoreState overwrites the production-side state with the snapshot.
+func (s *functionalSource) RestoreState(r *checkpoint.Reader) error {
+	return s.fe.RestoreState(r)
 }
 
 func (s *functionalSource) Collect(res *Result) {
@@ -149,6 +169,34 @@ func (s traceSource) Close() {}
 // supports one (faultinject wrappers do; a plain tracefile.Reader never
 // blocks, so it has no interrupt to forward).
 func (s traceSource) Interrupt() { interrupt(s.src) }
+
+// SaveState serializes the trace cursor: the number of records decoded
+// so far. The trace bytes themselves are the durable artifact; resume
+// re-opens the file and skips forward.
+func (s traceSource) SaveState(w *checkpoint.Writer) {
+	w.Section("sim/traceSource", sessionSnapshotVersion)
+	// checkpointState gates on this capability before any snapshot is
+	// attempted, so the assertion cannot fail here.
+	pos := s.src.(interface{ Pos() uint64 })
+	w.Uint64(pos.Pos())
+}
+
+// RestoreState replays the cursor: the wrapped reader must be fresh
+// (positioned at record 0) and support Skip — tracefile.Reader does.
+func (s traceSource) RestoreState(r *checkpoint.Reader) error {
+	if err := r.Section("sim/traceSource", sessionSnapshotVersion); err != nil {
+		return err
+	}
+	n := r.Uint64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	sk, ok := s.src.(interface{ Skip(uint64) error })
+	if !ok {
+		return fmt.Errorf("sim: trace producer %T cannot skip to the snapshot cursor", s.src)
+	}
+	return sk.Skip(n)
+}
 
 func (s traceSource) Collect(res *Result) {
 	// A trace replays exactly the instructions the core consumes; the

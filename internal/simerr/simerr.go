@@ -55,6 +55,13 @@ var (
 	// faults are deterministic — retrying on a lower technique rung
 	// cannot fix them — so the degradation ladder never recovers them.
 	ErrConfig = errors.New("invalid configuration")
+
+	// ErrCanceled classifies a run ended by operator cancellation: a
+	// context deadline, a SIGINT, or an explicit cancel. Cancellation is
+	// an instruction, not a malfunction — the degradation ladder never
+	// retries it, and sweeps flush whatever partial results exist with
+	// the canceled cells annotated.
+	ErrCanceled = errors.New("run canceled")
 )
 
 // Fault is a classified simulation fault with diagnostic context. The
@@ -157,6 +164,12 @@ func Unsupported(op string, cause error) *Fault {
 // rejects up front.
 func Config(op string, cause error) *Fault {
 	return &Fault{Kind: ErrConfig, Op: op, Err: cause}
+}
+
+// Canceled builds an ErrCanceled fault. cause is the context's error
+// (context.Canceled, context.DeadlineExceeded) when one is available.
+func Canceled(op string, cause error) *Fault {
+	return &Fault{Kind: ErrCanceled, Op: op, Err: cause}
 }
 
 // Degraded wraps the fault that forced a ladder descent so the result's

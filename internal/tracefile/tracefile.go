@@ -236,6 +236,30 @@ func (r *Reader) Next() (trace.DynInst, bool) {
 // record that failed to decode.
 func (r *Reader) Err() error { return r.err }
 
+// Pos returns the number of records decoded so far — the cursor a
+// checkpoint serializes so a resume can Skip a fresh reader forward to
+// the same position.
+func (r *Reader) Pos() uint64 { return r.seq }
+
+// Skip decodes and discards n records. It is the resume path's cursor
+// restore: re-opening the trace and skipping to the snapshot's Pos
+// leaves the reader bit-identical to the one that was checkpointed
+// (decoding is stateful only through lastPC/seq, which Skip replays).
+// A trace that ends — cleanly or corruptly — before n records is an
+// error: the file does not match the snapshot.
+func (r *Reader) Skip(n uint64) error {
+	for i := uint64(0); i < n; i++ {
+		if _, ok := r.Next(); !ok {
+			if r.err != nil {
+				return r.err
+			}
+			return simerr.Corrupt("skipping to snapshot cursor", r.seq,
+				fmt.Errorf("tracefile: trace ended at record %d, snapshot cursor is %d", r.seq, n))
+		}
+	}
+	return nil
+}
+
 // Producer is the minimal instruction source interface (a structural
 // copy of queue.Producer, avoiding the import cycle).
 type Producer interface {

@@ -161,8 +161,9 @@ func TestTruncatedTrace(t *testing.T) {
 
 // writeSyntheticTrace writes a small trace exercising every record
 // shape: plain ALU, memory with address, taken branch with target and
-// redirected next PC, and the exit record.
-func writeSyntheticTrace(t *testing.T) []byte {
+// redirected next PC, and the exit record. (testing.TB so the fuzz
+// targets can seed their corpus with it.)
+func writeSyntheticTrace(t testing.TB) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	w, err := tracefile.NewWriter(&buf)
