@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-fix lint-sarif race faults chaos fuzz-smoke check bench bench-diff bench-all bench-smoke
+.PHONY: build test vet lint lint-fix lint-sarif race faults chaos fuzz-smoke serve-smoke check bench bench-diff bench-all bench-smoke
 
 build:
 	$(GO) build ./...
@@ -53,8 +53,15 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s ./internal/checkpoint/
 	$(GO) test -run '^$$' -fuzz FuzzOpen -fuzztime 10s ./internal/checkpoint/
 
+# serve-smoke builds the wpserved daemon and drives it end-to-end over
+# HTTP: submit, checkpointed SIGTERM drain, restart, bit-identical
+# resume (see DESIGN.md, "Serving layer"). The acceptance gate for the
+# serving layer.
+serve-smoke:
+	$(GO) test -timeout 10m -count=1 -run 'TestServeSmoke' -v ./cmd/wpserved/
+
 # check is the full CI gate.
-check: build vet lint race faults chaos
+check: build vet lint race faults chaos serve-smoke
 
 # bench runs the observability regression sweep: the fig1/fig4
 # workload cross-section under every wrong-path technique with metrics

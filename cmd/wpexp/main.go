@@ -12,6 +12,10 @@
 // Report text is byte-identical for any -jobs value; only host
 // wall-clock changes (the speed and parallel experiments always run
 // their timed simulations serially).
+//
+// Exit codes: 0 clean, 1 hard failure, 3 report flushed with annotated
+// cells (DEGRADED or INCOMPLETE). The observability outputs
+// (-metrics-out, -trace-out, -pprof) flush on every exit path.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -33,34 +38,53 @@ import (
 	"repro/internal/workloads/specproxy"
 )
 
-// exitAnnotated is the exit code for a sweep whose report flushed but
+// Exit codes. exitAnnotated marks a sweep whose report flushed but
 // carries fault annotations (DEGRADED or INCOMPLETE cells): nonzero so
 // CI notices, distinct from the hard-failure exit 1.
-const exitAnnotated = 3
+const (
+	exitClean     = 0
+	exitFailure   = 1
+	exitUsage     = 2
+	exitAnnotated = 3
+)
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind an exit code; the deferred
+// observability Finish guarantees -metrics-out/-trace-out/-pprof flush
+// before every exit, hard failures included.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("wpexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp      = flag.String("exp", "all", "experiment: "+strings.Join(experiments.Names(), ", ")+", or all")
-		n        = flag.Int("n", 0, "GAP graph vertices (0 = default)")
-		degree   = flag.Int("degree", 0, "GAP graph degree (0 = default)")
-		scale    = flag.Float64("scale", 0, "SPEC-proxy scale (0 = default)")
-		quick    = flag.Bool("quick", false, "use test-scale inputs")
-		batch    = flag.Int("batch", 0, "decoupling-queue lane size (0 = default, 1 = per-instruction; report text identical at any size)")
-		verbose  = flag.Bool("v", false, "print one line per simulation run")
-		jobs     = flag.Int("jobs", 1, "batch worker count for independent simulations (0 = one per host core)")
-		benchOut = flag.String("bench-out", "", "write a JSON timing record for the run to this file")
-		watchdog = flag.Duration("watchdog", 0, "stall-watchdog budget per simulation (0 = disabled); stalled cells abort with a typed error")
-		degrade  = flag.Bool("degrade", false, "on a recoverable fault, retry a cell one technique rung down instead of failing the sweep (degraded cells are annotated)")
-		retries  = flag.Int("max-retries", 2, "ladder descents allowed per cell (with -degrade)")
-		ckptDir  = flag.String("checkpoint-dir", "", "write per-cell crash-safe snapshots under this directory (empty = disabled)")
-		ckptN    = flag.Uint64("checkpoint-every", 1_000_000, "snapshot interval in retired instructions (with -checkpoint-dir)")
-		resume   = flag.Bool("resume", false, "resume each cell from its latest snapshot under -checkpoint-dir; the resumed report is byte-identical to an uninterrupted sweep")
+		exp      = fs.String("exp", "all", "experiment: "+strings.Join(experiments.Names(), ", ")+", or all")
+		n        = fs.Int("n", 0, "GAP graph vertices (0 = default)")
+		degree   = fs.Int("degree", 0, "GAP graph degree (0 = default)")
+		scale    = fs.Float64("scale", 0, "SPEC-proxy scale (0 = default)")
+		quick    = fs.Bool("quick", false, "use test-scale inputs")
+		batch    = fs.Int("batch", 0, "decoupling-queue lane size (0 = default, 1 = per-instruction; report text identical at any size)")
+		verbose  = fs.Bool("v", false, "print one line per simulation run")
+		jobs     = fs.Int("jobs", 1, "batch worker count for independent simulations (0 = one per host core)")
+		benchOut = fs.String("bench-out", "", "write a JSON timing record for the run to this file")
+		watchdog = fs.Duration("watchdog", 0, "stall-watchdog budget per simulation (0 = disabled); stalled cells abort with a typed error")
+		degrade  = fs.Bool("degrade", false, "on a recoverable fault, retry a cell one technique rung down instead of failing the sweep (degraded cells are annotated)")
+		retries  = fs.Int("max-retries", 2, "ladder descents allowed per cell (with -degrade)")
+		ckptDir  = fs.String("checkpoint-dir", "", "write per-cell crash-safe snapshots under this directory (empty = disabled)")
+		ckptN    = fs.Uint64("checkpoint-every", 1_000_000, "snapshot interval in retired instructions (with -checkpoint-dir)")
+		resume   = fs.Bool("resume", false, "resume each cell from its latest snapshot under -checkpoint-dir; the resumed report is byte-identical to an uninterrupted sweep")
 	)
 	var obsFlags cliobs.Flags
-	obsFlags.Register(flag.CommandLine)
-	flag.Parse()
+	obsFlags.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return exitClean
+		}
+		return exitUsage
+	}
 
-	opt := experiments.Options{Out: os.Stdout, Batch: *batch}
+	opt := experiments.Options{Out: stdout, Batch: *batch}
 	if *quick {
 		opt.GAP = gap.TestParams()
 		opt.Spec = specproxy.TestParams()
@@ -82,7 +106,7 @@ func main() {
 		opt.Spec.Scale = *scale
 	}
 	if *verbose {
-		opt.Progress = os.Stderr
+		opt.Progress = stderr
 	}
 	opt.Jobs = *jobs
 	opt.Watchdog = *watchdog
@@ -102,9 +126,19 @@ func main() {
 
 	var err error
 	if opt.Metrics, opt.Trace, err = obsFlags.Start(); err != nil {
-		fmt.Fprintf(os.Stderr, "wpexp: observability: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "wpexp: observability: %v\n", err)
+		return exitFailure
 	}
+	// The flush guarantee: a hard runner failure or an annotated exit
+	// still writes the observability outputs — the metrics of a faulted
+	// sweep are exactly the ones worth keeping. A flush failure hardens
+	// the exit to 1 so the loss is never silent.
+	defer func() {
+		if err := obsFlags.Finish(); err != nil {
+			fmt.Fprintf(stderr, "wpexp: observability: %v\n", err)
+			code = exitFailure
+		}
+	}()
 
 	r := experiments.NewRunner(opt)
 	start := time.Now()
@@ -115,29 +149,27 @@ func main() {
 	}
 	wall := time.Since(start)
 	if err != nil && !errors.Is(err, simerr.ErrCanceled) {
-		fmt.Fprintf(os.Stderr, "wpexp: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "wpexp: %v\n", err)
+		return exitFailure
 	}
 	if err != nil {
 		// Canceled: the partial report and its INCOMPLETE footnote are
-		// already flushed; finish observability, then exit annotated.
-		fmt.Fprintf(os.Stderr, "wpexp: %v\n", err)
-	}
-	if err := obsFlags.Finish(); err != nil {
-		fmt.Fprintf(os.Stderr, "wpexp: observability: %v\n", err)
-		os.Exit(1)
+		// already flushed; the deferred Finish writes the observability
+		// outputs, and the Faulted check below exits annotated.
+		fmt.Fprintf(stderr, "wpexp: %v\n", err)
 	}
 	if *benchOut != "" {
 		if err := writeBench(*benchOut, *exp, *jobs, *quick, wall); err != nil {
-			fmt.Fprintf(os.Stderr, "wpexp: writing %s: %v\n", *benchOut, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "wpexp: writing %s: %v\n", *benchOut, err)
+			return exitFailure
 		}
 	}
 	// The report flushed, but some cells are annotated (DEGRADED or
 	// INCOMPLETE): tell CI without discarding the partial output.
 	if r.Faulted() {
-		os.Exit(exitAnnotated)
+		return exitAnnotated
 	}
+	return exitClean
 }
 
 // benchRecord is the -bench-out JSON schema, consumed by the CI

@@ -7,14 +7,22 @@
 //	wpsim -suite specint -bench chase -wp nowp -max-insts 1000000
 //	wpsim -suite gap -bench pr -wp wpemul -n 8192 -degree 8
 //	wpsim -suite gap -bench bfs -wp all -jobs 4   # compare all techniques
+//
+// Exit codes: 0 clean, 1 hard failure, 3 completed but annotated
+// (degraded, faulted, or canceled cells). The observability outputs
+// (-metrics-out, -trace-out, -pprof) flush on every exit path,
+// including 1 and 3 — a faulted run's metrics are exactly the ones
+// worth keeping.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -22,50 +30,73 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/cliobs"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/queue"
 	"repro/internal/sim"
+	"repro/internal/simerr"
 	"repro/internal/workloads"
-	"repro/internal/workloads/gap"
-	"repro/internal/workloads/specproxy"
+	"repro/internal/workloads/catalog"
 	"repro/internal/wrongpath"
 )
 
-// exitAnnotated is the exit code for a run that completed and printed
-// its report but carries fault annotations (degraded, canceled, or
+// Exit codes. exitAnnotated marks a run that completed and printed its
+// report but carries fault annotations (degraded, canceled, or
 // functional-error cells): nonzero so scripts notice, distinct from the
 // hard-failure exit 1.
-const exitAnnotated = 3
+const (
+	exitClean     = 0
+	exitFailure   = 1
+	exitUsage     = 2
+	exitAnnotated = 3
+)
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind an exit code. The observability
+// lifecycle is a named-return defer so -metrics-out/-trace-out/-pprof
+// flush before EVERY exit — hard failures and annotated exits
+// included; os.Exit appears only in main.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("wpsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		suite    = flag.String("suite", "gap", "workload suite: gap, specint, specfp")
-		bench    = flag.String("bench", "bfs", "benchmark name within the suite")
-		wp       = flag.String("wp", "conv", "wrong-path technique: "+strings.Join(wrongpath.Names(), ", ")+", or all")
-		jobs     = flag.Int("jobs", 1, "-wp all worker count (0 = one per host core; wall clocks contend when > 1)")
-		maxInsts = flag.Uint64("max-insts", 0, "instruction cap (0 = workload default)")
-		warmup   = flag.Uint64("warmup", 0, "functional-warming instructions before detailed simulation")
-		parallel = flag.Bool("parallel", false, "run the functional frontend in its own goroutine")
-		n        = flag.Int("n", 0, "GAP graph vertices (0 = default)")
-		degree   = flag.Int("degree", 0, "GAP graph degree (0 = default)")
-		kron     = flag.Bool("kron", false, "use the Kronecker generator for GAP inputs")
-		grid     = flag.Bool("grid", false, "use a 2D grid (road-network-like) GAP input")
-		seed     = flag.Uint64("seed", 0, "input seed (0 = default)")
-		scale    = flag.Float64("scale", 0, "SPEC-proxy scale factor (0 = default)")
-		rob      = flag.Int("rob", 0, "ROB size override")
-		batch    = flag.Int("batch", 0, "decoupling-queue lane size (0 = default, 1 = per-instruction; results identical at any size)")
-		memLat   = flag.Int("mem-latency", 0, "memory latency override (cycles)")
-		showCfg  = flag.Bool("config", false, "print the core configuration and exit")
-		list     = flag.Bool("list", false, "list available benchmarks and exit")
-		watchdog = flag.Duration("watchdog", 0, "stall-watchdog budget (0 = disabled); aborts with a typed error if the run stops advancing")
-		degrade  = flag.Bool("degrade", false, "on a recoverable fault, retry one technique rung down instead of failing")
-		retries  = flag.Int("max-retries", 2, "ladder descents allowed (with -degrade)")
-		ckptDir  = flag.String("checkpoint-dir", "", "write crash-safe state snapshots into this directory (empty = disabled)")
-		ckptN    = flag.Uint64("checkpoint-every", 1_000_000, "snapshot interval in retired instructions (with -checkpoint-dir)")
-		resume   = flag.Bool("resume", false, "resume from the latest snapshot in -checkpoint-dir instead of starting from zero")
+		suite    = fs.String("suite", "gap", "workload suite: "+strings.Join(catalog.Suites(), ", "))
+		bench    = fs.String("bench", "bfs", "benchmark name within the suite")
+		wp       = fs.String("wp", "conv", "wrong-path technique: "+strings.Join(wrongpath.Names(), ", ")+", or all")
+		jobs     = fs.Int("jobs", 1, "-wp all worker count (0 = one per host core; wall clocks contend when > 1)")
+		maxInsts = fs.Uint64("max-insts", 0, "instruction cap (0 = workload default)")
+		warmup   = fs.Uint64("warmup", 0, "functional-warming instructions before detailed simulation")
+		parallel = fs.Bool("parallel", false, "run the functional frontend in its own goroutine")
+		n        = fs.Int("n", 0, "GAP graph vertices (0 = default)")
+		degree   = fs.Int("degree", 0, "GAP graph degree (0 = default)")
+		kron     = fs.Bool("kron", false, "use the Kronecker generator for GAP inputs")
+		grid     = fs.Bool("grid", false, "use a 2D grid (road-network-like) GAP input")
+		seed     = fs.Uint64("seed", 0, "input seed (0 = default)")
+		scale    = fs.Float64("scale", 0, "SPEC-proxy scale factor (0 = default)")
+		rob      = fs.Int("rob", 0, "ROB size override")
+		batch    = fs.Int("batch", 0, "decoupling-queue lane size (0 = default, 1 = per-instruction; results identical at any size)")
+		memLat   = fs.Int("mem-latency", 0, "memory latency override (cycles)")
+		showCfg  = fs.Bool("config", false, "print the core configuration and exit")
+		list     = fs.Bool("list", false, "list available benchmarks and exit")
+		watchdog = fs.Duration("watchdog", 0, "stall-watchdog budget (0 = disabled); aborts with a typed error if the run stops advancing")
+		degrade  = fs.Bool("degrade", false, "on a recoverable fault, retry one technique rung down instead of failing")
+		retries  = fs.Int("max-retries", 2, "ladder descents allowed (with -degrade)")
+		ckptDir  = fs.String("checkpoint-dir", "", "write crash-safe state snapshots into this directory (empty = disabled)")
+		ckptN    = fs.Uint64("checkpoint-every", 1_000_000, "snapshot interval in retired instructions (with -checkpoint-dir)")
+		resume   = fs.Bool("resume", false, "resume from the latest snapshot in -checkpoint-dir instead of starting from zero")
+		inject   = fs.String("inject", "", "fault drill: panic@N panics the frontend at instruction N on the first attempt (requires -degrade; exercises the ladder deterministically)")
 	)
 	var obsFlags cliobs.Flags
-	obsFlags.Register(flag.CommandLine)
-	flag.Parse()
+	obsFlags.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return exitClean
+		}
+		return exitUsage
+	}
 
 	cfg := core.DefaultConfig()
 	if *rob > 0 {
@@ -76,29 +107,48 @@ func main() {
 		cfg.Hierarchy.MemLatency = *memLat
 	}
 	if *showCfg {
-		fmt.Print(sim.DescribeConfig(cfg))
-		return
+		fmt.Fprint(stdout, sim.DescribeConfig(cfg))
+		return exitClean
 	}
 	if *list {
-		fmt.Println("gap:    ", gap.Names())
-		for _, w := range specproxy.IntSuite(specproxy.DefaultParams()) {
-			fmt.Println("specint:", w.Name)
+		for _, s := range catalog.Suites() {
+			fmt.Fprintf(stdout, "%-8s %v\n", s+":", catalog.Names(s))
 		}
-		for _, w := range specproxy.FPSuite(specproxy.DefaultParams()) {
-			fmt.Println("specfp: ", w.Name)
-		}
-		return
+		return exitClean
 	}
 
-	w, err := findWorkload(*suite, *bench, *n, *degree, *kron, *grid, *seed, *scale)
+	drill, err := parseInject(*inject, *degrade, *ckptDir)
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "wpsim: %v\n", err)
+		return exitUsage
+	}
+	w, err := catalog.Find(*suite, *bench, catalog.Params{
+		N: *n, Degree: *degree, Kron: *kron, Grid: *grid, Seed: *seed, Scale: *scale})
+	if err != nil {
+		fmt.Fprintf(stderr, "wpsim: %v\n", err)
+		return exitFailure
 	}
 	fault := faultOptions(*watchdog, *degrade, *retries)
+
 	metrics, tsink, err := obsFlags.Start()
 	if err != nil {
-		fatalf("observability: %v", err)
+		fmt.Fprintf(stderr, "wpsim: observability: %v\n", err)
+		return exitFailure
 	}
+	// The flush guarantee: whatever exit path the rest of run takes —
+	// hard failure, annotated result, clean — the observability outputs
+	// are written before the process exits. A flush failure turns a
+	// clean or annotated exit into a hard failure (silent data loss is
+	// worse than a loud one), but never masks an earlier hard failure.
+	defer func() {
+		if err := obsFlags.Finish(); err != nil {
+			fmt.Fprintf(stderr, "wpsim: observability: %v\n", err)
+			if code != exitFailure {
+				code = exitFailure
+			}
+		}
+	}()
+
 	// SIGINT/SIGTERM cancel the run cleanly: the simulation stops at its
 	// next lane boundary, the partial result prints annotated, and the
 	// process exits nonzero. A second signal kills the process outright
@@ -106,23 +156,29 @@ func main() {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 	obsLabel := *suite + "/" + *bench
+
 	if *wp == "all" {
-		faulted := compareAll(ctx, cfg, w, *suite, *bench, *maxInsts, *warmup, *parallel, *jobs, fault, obsCfg{metrics, tsink, obsLabel}, *ckptDir, *ckptN)
-		finishObs(&obsFlags)
-		if faulted {
-			os.Exit(exitAnnotated)
+		faulted, err := compareAll(ctx, stdout, cfg, w, *suite, *bench, *maxInsts, *warmup, *parallel, *jobs, fault, obsCfg{metrics, tsink, obsLabel}, *ckptDir, *ckptN)
+		if err != nil {
+			fmt.Fprintf(stderr, "wpsim: %v\n", err)
+			return exitFailure
 		}
-		return
+		if faulted {
+			return exitAnnotated
+		}
+		return exitClean
 	}
 
 	kind, ok := wrongpath.ParseKind(*wp)
 	if !ok {
-		fatalf("unknown wrong-path technique %q (have %s, all)", *wp, strings.Join(wrongpath.Names(), ", "))
+		fmt.Fprintf(stderr, "wpsim: unknown wrong-path technique %q (have %s, all)\n", *wp, strings.Join(wrongpath.Names(), ", "))
+		return exitFailure
 	}
 
 	inst, err := w.Build()
 	if err != nil {
-		fatalf("building %s/%s: %v", *suite, *bench, err)
+		fmt.Fprintf(stderr, "wpsim: building %s/%s: %v\n", *suite, *bench, err)
+		return exitFailure
 	}
 	budget := *maxInsts
 	if budget == 0 {
@@ -137,47 +193,81 @@ func main() {
 		// Ladder path: the first attempt consumes the prebuilt instance,
 		// retries rebuild a fresh one. With -checkpoint-dir, retries (and
 		// re-runs over a non-empty directory) resume from the latest
-		// snapshot instead of from zero.
+		// snapshot instead of from zero. An -inject drill arms only the
+		// first attempt, so the descent it forces happens exactly once.
 		first := inst
 		res, err = sim.RunLadder(simCfg, func(c sim.Config) (sim.Source, error) {
-			if first != nil {
+			armed := first != nil
+			var src sim.Source
+			if armed {
 				i := first
 				first = nil
-				return sim.NewFunctionalSource(c, i), nil
+				src = sim.NewFunctionalSource(c, i)
+			} else {
+				retry, err := w.Build()
+				if err != nil {
+					return nil, err
+				}
+				src = sim.NewFunctionalSource(c, retry)
 			}
-			retry, err := w.Build()
-			if err != nil {
-				return nil, err
+			if armed && drill != nil {
+				src = sim.WrapSource(src, drill)
 			}
-			return sim.NewFunctionalSource(c, retry), nil
+			return src, nil
 		})
-	} else if snap := latestSnapshot(*resume, *ckptDir); snap != "" {
-		res, err = sim.Resume(simCfg, inst, snap)
 	} else {
-		res, err = sim.Run(simCfg, inst)
+		snap := ""
+		if *resume && *ckptDir != "" {
+			// -resume over an empty or missing directory starts from zero
+			// (the first run of a crash-safe loop has nothing to resume).
+			snap, err = checkpoint.Latest(*ckptDir)
+			if err != nil {
+				fmt.Fprintf(stderr, "wpsim: finding latest snapshot in %s: %v\n", *ckptDir, err)
+				return exitFailure
+			}
+		}
+		if snap != "" {
+			res, err = sim.Resume(simCfg, inst, snap)
+		} else {
+			res, err = sim.Run(simCfg, inst)
+		}
 	}
 	if err != nil {
-		fatalf("simulating: %v", err)
+		fmt.Fprintf(stderr, "wpsim: simulating: %v\n", err)
+		return exitFailure
 	}
-	finishObs(&obsFlags)
-	printResult(*suite, *bench, kind, res)
+	printResult(stdout, *suite, *bench, kind, res)
 	if res.Err != nil || res.Degraded {
-		os.Exit(exitAnnotated)
+		return exitAnnotated
 	}
+	return exitClean
 }
 
-// latestSnapshot resolves the -resume snapshot path, or "" for a fresh
-// run. -resume over an empty or missing directory starts from zero (the
-// first run of a crash-safe loop has nothing to resume).
-func latestSnapshot(resume bool, dir string) string {
-	if !resume || dir == "" {
-		return ""
+// parseInject parses the -inject fault drill ("panic@N"). Drills
+// require -degrade (the whole point is watching the ladder recover) and
+// are incompatible with -checkpoint-dir (wrapped sources cannot
+// checkpoint — the injector's own state is not snapshottable).
+func parseInject(spec string, degrade bool, ckptDir string) (func(queue.Producer) queue.Producer, error) {
+	if spec == "" {
+		return nil, nil
 	}
-	snap, err := checkpoint.Latest(dir)
+	kind, at, ok := strings.Cut(spec, "@")
+	if !ok || kind != "panic" {
+		return nil, fmt.Errorf("bad -inject %q (want panic@N)", spec)
+	}
+	n, err := strconv.ParseUint(at, 10, 64)
 	if err != nil {
-		fatalf("finding latest snapshot in %s: %v", dir, err)
+		return nil, fmt.Errorf("bad -inject position %q: %v", at, err)
 	}
-	return snap
+	if !degrade {
+		return nil, fmt.Errorf("-inject requires -degrade (the drill exercises the degradation ladder)")
+	}
+	if ckptDir != "" {
+		return nil, fmt.Errorf("-inject is incompatible with -checkpoint-dir (wrapped sources cannot checkpoint)")
+	}
+	return func(p queue.Producer) queue.Producer {
+		return faultinject.PanicAt(p, n, "injected fault drill (-inject)")
+	}, nil
 }
 
 // obsCfg threads the observability outputs into the comparison run.
@@ -185,12 +275,6 @@ type obsCfg struct {
 	metrics *obs.Registry
 	trace   *obs.TraceSink
 	label   string
-}
-
-func finishObs(f *cliobs.Flags) {
-	if err := f.Finish(); err != nil {
-		fatalf("observability: %v", err)
-	}
 }
 
 // faultConfig bundles the fault-tolerance flags for threading into
@@ -213,7 +297,7 @@ func faultOptions(watchdog time.Duration, degrade bool, retries int) faultConfig
 // comparison per kind, with wpemul as the error reference. It returns
 // whether any cell carries a fault annotation — the caller turns that
 // into a nonzero exit after the full table has printed.
-func compareAll(ctx context.Context, cfg core.Config, w workloads.Workload, suite, bench string, maxInsts, warmup uint64, parallel bool, jobs int, fault faultConfig, oc obsCfg, ckptDir string, ckptN uint64) bool {
+func compareAll(ctx context.Context, stdout io.Writer, cfg core.Config, w workloads.Workload, suite, bench string, maxInsts, warmup uint64, parallel bool, jobs int, fault faultConfig, oc obsCfg, ckptDir string, ckptN uint64) (bool, error) {
 	kinds := wrongpath.Kinds()
 	simCfg := sim.Config{Core: cfg, MaxInsts: maxInsts, WarmupInsts: warmup, ParallelFrontend: parallel,
 		Watchdog: fault.Watchdog, Degrade: fault.Degrade,
@@ -221,7 +305,7 @@ func compareAll(ctx context.Context, cfg core.Config, w workloads.Workload, suit
 		Ctx: ctx, CheckpointDir: ckptDir, CheckpointEvery: ckptN}
 	results, err := sim.RunKinds(simCfg, w, kinds, jobs)
 	if err != nil {
-		fatalf("%v", err)
+		return false, err
 	}
 	var ref *sim.Result
 	for i, k := range kinds {
@@ -229,8 +313,8 @@ func compareAll(ctx context.Context, cfg core.Config, w workloads.Workload, suit
 			ref = results[i]
 		}
 	}
-	fmt.Printf("workload   %s/%s\n\n", suite, bench)
-	fmt.Printf("%-10s %12s %12s %8s %10s %12s %12s\n",
+	fmt.Fprintf(stdout, "workload   %s/%s\n\n", suite, bench)
+	fmt.Fprintf(stdout, "%-10s %12s %12s %8s %10s %12s %12s\n",
 		"technique", "insts", "cycles", "IPC", "vs wpemul", "WP executed", "wall")
 	faulted := false
 	for i, k := range kinds {
@@ -245,114 +329,56 @@ func compareAll(ctx context.Context, cfg core.Config, w workloads.Workload, suit
 			note = fmt.Sprintf("  DEGRADED(ran as %v)", res.WP)
 			faulted = true
 		case res.Err != nil:
-			note = fmt.Sprintf("  FAULT(%v)", firstLineOf(res.Err.Error()))
+			note = fmt.Sprintf("  FAULT(%v)", simerr.FirstLine(res.Err))
 			faulted = true
 		}
-		fmt.Printf("%-10s %12d %12d %8.4f %10s %12d %12v%s\n",
+		fmt.Fprintf(stdout, "%-10s %12d %12d %8.4f %10s %12d %12v%s\n",
 			k, res.Core.Instructions, res.Core.Cycles, res.IPC(),
 			errCol, res.Core.WPExecuted, res.Wall.Round(1_000_000), note)
 	}
 	if jobs != 1 {
-		fmt.Printf("\n(wall clocks from concurrent runs; use -jobs 1 for calibrated timing)\n")
+		fmt.Fprintf(stdout, "\n(wall clocks from concurrent runs; use -jobs 1 for calibrated timing)\n")
 	}
-	return faulted
+	return faulted, nil
 }
 
-// firstLineOf truncates multi-line fault renderings for the table note.
-func firstLineOf(s string) string {
-	if i := strings.IndexByte(s, '\n'); i >= 0 {
-		return s[:i]
-	}
-	return s
-}
-
-func findWorkload(suite, bench string, n, degree int, kron, grid bool, seed uint64, scale float64) (workloads.Workload, error) {
-	switch suite {
-	case "gap":
-		p := gap.DefaultParams()
-		if n > 0 {
-			p.N = n
-		}
-		if degree > 0 {
-			p.Degree = degree
-		}
-		if seed != 0 {
-			p.Seed = seed
-		}
-		p.Kron = kron
-		p.Grid = grid
-		w, ok := gap.ByName(bench, p)
-		if !ok {
-			return workloads.Workload{}, fmt.Errorf("unknown gap benchmark %q (have %v)", bench, gap.Names())
-		}
-		return w, nil
-	case "specint", "specfp":
-		p := specproxy.DefaultParams()
-		if seed != 0 {
-			p.Seed = seed
-		}
-		if scale > 0 {
-			p.Scale = scale
-		}
-		var pool []workloads.Workload
-		if suite == "specint" {
-			pool = specproxy.IntSuite(p)
-		} else {
-			pool = specproxy.FPSuite(p)
-		}
-		for _, w := range pool {
-			if w.Name == bench {
-				return w, nil
-			}
-		}
-		return workloads.Workload{}, fmt.Errorf("unknown %s benchmark %q", suite, bench)
-	default:
-		return workloads.Workload{}, fmt.Errorf("unknown suite %q (gap, specint, specfp)", suite)
-	}
-}
-
-func printResult(suite, bench string, kind wrongpath.Kind, res *sim.Result) {
-	fmt.Printf("workload            %s/%s\n", suite, bench)
-	fmt.Printf("technique           %s\n", kind)
+func printResult(stdout io.Writer, suite, bench string, kind wrongpath.Kind, res *sim.Result) {
+	fmt.Fprintf(stdout, "workload            %s/%s\n", suite, bench)
+	fmt.Fprintf(stdout, "technique           %s\n", kind)
 	if res.Degraded {
-		fmt.Printf("DEGRADED            ran as %v (requested %v): %v\n", res.WP, res.RequestedWP, res.DegradeFault)
+		fmt.Fprintf(stdout, "DEGRADED            ran as %v (requested %v): %v\n", res.WP, res.RequestedWP, res.DegradeFault)
 	}
-	fmt.Printf("instructions        %d\n", res.Core.Instructions)
-	fmt.Printf("cycles              %d\n", res.Core.Cycles)
-	fmt.Printf("IPC                 %.4f\n", res.IPC())
-	fmt.Printf("branch MPKI         %.2f\n", res.Core.MPKI())
-	fmt.Printf("cond mispredict     %d / %d\n", res.Core.CondMispredicted, res.Core.CondBranches)
-	fmt.Printf("L1D miss rate       %.2f%% (%d accesses)\n", 100*res.L1D.Correct.MissRate(), res.L1D.Correct.Accesses)
-	fmt.Printf("L2 miss rate        %.2f%% (%d accesses)\n", 100*res.L2.Total().MissRate(), res.L2.Total().Accesses)
-	fmt.Printf("LLC miss rate       %.2f%% (%d accesses)\n", 100*res.LLC.Total().MissRate(), res.LLC.Total().Accesses)
-	fmt.Printf("DRAM accesses       %d (%d wrong-path)\n", res.MemAccesses, res.WrongMemAccesses)
-	fmt.Printf("DTLB miss rate      %.2f%%\n", 100*res.DTLB.Total().MissRate())
-	fmt.Printf("WP fetched          %d\n", res.Core.WPFetched)
-	fmt.Printf("WP executed         %d (%.0f%% of correct path)\n", res.Core.WPExecuted, 100*res.Core.WPFraction())
-	fmt.Printf("WP loads executed   %d (%d with address)\n", res.Core.WPLoads, res.Core.WPLoadsWithAddr)
-	fmt.Printf("WP L2 misses        %d\n", res.L2.Wrong.Misses)
+	fmt.Fprintf(stdout, "instructions        %d\n", res.Core.Instructions)
+	fmt.Fprintf(stdout, "cycles              %d\n", res.Core.Cycles)
+	fmt.Fprintf(stdout, "IPC                 %.4f\n", res.IPC())
+	fmt.Fprintf(stdout, "branch MPKI         %.2f\n", res.Core.MPKI())
+	fmt.Fprintf(stdout, "cond mispredict     %d / %d\n", res.Core.CondMispredicted, res.Core.CondBranches)
+	fmt.Fprintf(stdout, "L1D miss rate       %.2f%% (%d accesses)\n", 100*res.L1D.Correct.MissRate(), res.L1D.Correct.Accesses)
+	fmt.Fprintf(stdout, "L2 miss rate        %.2f%% (%d accesses)\n", 100*res.L2.Total().MissRate(), res.L2.Total().Accesses)
+	fmt.Fprintf(stdout, "LLC miss rate       %.2f%% (%d accesses)\n", 100*res.LLC.Total().MissRate(), res.LLC.Total().Accesses)
+	fmt.Fprintf(stdout, "DRAM accesses       %d (%d wrong-path)\n", res.MemAccesses, res.WrongMemAccesses)
+	fmt.Fprintf(stdout, "DTLB miss rate      %.2f%%\n", 100*res.DTLB.Total().MissRate())
+	fmt.Fprintf(stdout, "WP fetched          %d\n", res.Core.WPFetched)
+	fmt.Fprintf(stdout, "WP executed         %d (%.0f%% of correct path)\n", res.Core.WPExecuted, 100*res.Core.WPFraction())
+	fmt.Fprintf(stdout, "WP loads executed   %d (%d with address)\n", res.Core.WPLoads, res.Core.WPLoadsWithAddr)
+	fmt.Fprintf(stdout, "WP L2 misses        %d\n", res.L2.Wrong.Misses)
 	if kind == wrongpath.Conv {
-		fmt.Printf("conv frac           %.0f%%\n", 100*res.Policy.ConvFrac())
-		fmt.Printf("conv dist           %.1f\n", res.Policy.ConvDist())
-		fmt.Printf("addr recover        %.0f%%\n", 100*res.Policy.AddrRecoverFrac())
-		fmt.Printf("match len           %.1f\n", res.Policy.MatchLen())
+		fmt.Fprintf(stdout, "conv frac           %.0f%%\n", 100*res.Policy.ConvFrac())
+		fmt.Fprintf(stdout, "conv dist           %.1f\n", res.Policy.ConvDist())
+		fmt.Fprintf(stdout, "addr recover        %.0f%%\n", 100*res.Policy.AddrRecoverFrac())
+		fmt.Fprintf(stdout, "match len           %.1f\n", res.Policy.MatchLen())
 	}
 	if kind == wrongpath.WPEmul {
-		fmt.Printf("WP emulations       %d paths, %d instructions\n", res.WPEmulatedPaths, res.WPEmulatedInsts)
+		fmt.Fprintf(stdout, "WP emulations       %d paths, %d instructions\n", res.WPEmulatedPaths, res.WPEmulatedInsts)
 	}
-	fmt.Printf("wall time           %v\n", res.Wall)
+	fmt.Fprintf(stdout, "wall time           %v\n", res.Wall)
 	if len(res.Output) > 0 {
-		fmt.Printf("program output      %q\n", res.Output)
+		fmt.Fprintf(stdout, "program output      %q\n", res.Output)
 	}
 	if res.Err != nil {
 		// The caller exits with exitAnnotated: the stats above are still
 		// the truth up to the fault, and a canceled run's snapshot chain
 		// stays resumable.
-		fmt.Printf("functional error    %v\n", res.Err)
+		fmt.Fprintf(stdout, "functional error    %v\n", res.Err)
 	}
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "wpsim: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runWpsim invokes the command in-process and returns (exit code,
+// stdout, stderr).
+func runWpsim(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func quickArgs(extra ...string) []string {
+	return append([]string{"-suite", "gap", "-bench", "bfs", "-n", "1024", "-degree", "4"}, extra...)
+}
+
+func TestCleanRunExitsZero(t *testing.T) {
+	code, out, stderr := runWpsim(t, quickArgs("-wp", "conv")...)
+	if code != exitClean {
+		t.Fatalf("exit %d, want 0\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "workload            gap/bfs") || !strings.Contains(out, "IPC") {
+		t.Errorf("report missing expected lines:\n%s", out)
+	}
+}
+
+// TestDegradedRunFlushesObservability is the regression test for the
+// output-loss bug: a run that exits annotated (code 3) after a ladder
+// descent must still write -metrics-out and -trace-out. The -inject
+// drill makes the descent deterministic.
+func TestDegradedRunFlushesObservability(t *testing.T) {
+	dir := t.TempDir()
+	metricsOut := filepath.Join(dir, "metrics.json")
+	traceOut := filepath.Join(dir, "trace.json")
+	code, out, stderr := runWpsim(t, quickArgs(
+		"-wp", "wpemul", "-degrade", "-inject", "panic@5000",
+		"-metrics-out", metricsOut, "-trace-out", traceOut)...)
+	if code != exitAnnotated {
+		t.Fatalf("exit %d, want %d (annotated)\nstderr: %s", code, exitAnnotated, stderr)
+	}
+	if !strings.Contains(out, "DEGRADED") || !strings.Contains(out, "ran as conv (requested wpemul)") {
+		t.Errorf("degraded run not annotated in the report:\n%s", out)
+	}
+	data, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatalf("degraded exit lost -metrics-out: %v", err)
+	}
+	var metrics []map[string]any
+	if err := json.Unmarshal(data, &metrics); err != nil || len(metrics) == 0 {
+		t.Errorf("metrics file malformed (err %v, %d entries)", err, len(metrics))
+	}
+	var spans any
+	traceData, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatalf("degraded exit lost -trace-out: %v", err)
+	}
+	if err := json.Unmarshal(traceData, &spans); err != nil {
+		t.Errorf("trace file malformed: %v", err)
+	}
+}
+
+// TestHardFailureFlushesObservability: even an exit-1 path reached
+// after Start (here: an unknown technique) flushes the metrics file.
+func TestHardFailureFlushesObservability(t *testing.T) {
+	metricsOut := filepath.Join(t.TempDir(), "metrics.json")
+	code, _, stderr := runWpsim(t, quickArgs("-wp", "quantum", "-metrics-out", metricsOut)...)
+	if code != exitFailure {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "unknown wrong-path technique") {
+		t.Errorf("stderr missing diagnosis: %s", stderr)
+	}
+	if _, err := os.Stat(metricsOut); err != nil {
+		t.Fatalf("hard-failure exit lost -metrics-out: %v", err)
+	}
+}
+
+// TestFlushFailureHardensExit: a clean simulation whose metrics cannot
+// be written must not exit 0 — silent observability loss is the bug
+// this PR removes.
+func TestFlushFailureHardensExit(t *testing.T) {
+	metricsOut := filepath.Join(t.TempDir(), "missing-dir", "metrics.json")
+	code, _, stderr := runWpsim(t, quickArgs("-wp", "conv", "-metrics-out", metricsOut)...)
+	if code != exitFailure {
+		t.Fatalf("exit %d, want 1 when the metrics flush fails\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "observability") {
+		t.Errorf("stderr missing flush diagnosis: %s", stderr)
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"without degrade", quickArgs("-wp", "conv", "-inject", "panic@100")},
+		{"bad spec", quickArgs("-wp", "conv", "-degrade", "-inject", "explode@100")},
+		{"bad position", quickArgs("-wp", "conv", "-degrade", "-inject", "panic@soon")},
+		{"with checkpoint dir", quickArgs("-wp", "conv", "-degrade", "-inject", "panic@100", "-checkpoint-dir", "/tmp/x")},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if code, _, _ := runWpsim(t, tc.args...); code != exitUsage {
+				t.Errorf("exit %d, want %d (usage)", code, exitUsage)
+			}
+		})
+	}
+}
+
+// TestCompareAllAnnotatedExit: -wp all with an induced per-cell fault
+// (a 1ns watchdog budget trips instantly) prints the full table and
+// exits annotated, and the metrics still flush.
+func TestCompareAllAnnotatedExit(t *testing.T) {
+	metricsOut := filepath.Join(t.TempDir(), "metrics.json")
+	code, out, stderr := runWpsim(t, quickArgs(
+		"-wp", "all", "-jobs", "2", "-watchdog", "1ns", "-metrics-out", metricsOut)...)
+	if code != exitAnnotated {
+		t.Fatalf("exit %d, want %d\nstdout: %s\nstderr: %s", code, exitAnnotated, out, stderr)
+	}
+	if !strings.Contains(out, "FAULT(") {
+		t.Errorf("table missing FAULT annotations:\n%s", out)
+	}
+	if _, err := os.Stat(metricsOut); err != nil {
+		t.Fatalf("annotated -wp all exit lost -metrics-out: %v", err)
+	}
+}

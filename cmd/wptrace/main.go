@@ -9,6 +9,11 @@
 //	wptrace -record -suite gap -bench bfs -o bfs.trace
 //	wptrace -replay bfs.trace -wp conv
 //	wptrace -replay bfs.trace -wp all -jobs 4   # every supported technique
+//
+// Exit codes: 0 clean, 1 hard failure, 2 usage, 3 completed but
+// annotated (degraded, faulted, or canceled). In replay mode the
+// observability outputs (-metrics-out, -trace-out, -pprof) flush on
+// every exit path, annotated and hard-failure exits included.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,179 +35,248 @@ import (
 	"repro/internal/functional"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/simerr"
 	"repro/internal/tracefile"
-	"repro/internal/workloads"
-	"repro/internal/workloads/gap"
-	"repro/internal/workloads/specproxy"
+	"repro/internal/workloads/catalog"
 	"repro/internal/wrongpath"
 )
 
-// exitAnnotated is the exit code for a replay that completed and
-// printed its report but carries a fault annotation (a degraded cell, a
+// Exit codes. exitAnnotated marks a replay that completed and printed
+// its report but carries a fault annotation (a degraded cell, a
 // canceled run, or a run-ending functional fault). Scripts that gate on
 // clean replays must see nonzero; exit 1 stays reserved for hard
 // failures that produce no report.
-const exitAnnotated = 3
+const (
+	exitClean     = 0
+	exitFailure   = 1
+	exitUsage     = 2
+	exitAnnotated = 3
+)
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind an exit code; replay mode defers the
+// observability Finish so the outputs flush before every exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wptrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		record   = flag.Bool("record", false, "record a workload trace")
-		replay   = flag.String("replay", "", "replay a trace file through the performance simulator")
-		out      = flag.String("o", "out.trace", "output trace path (record mode)")
-		suite    = flag.String("suite", "gap", "workload suite (record mode)")
-		bench    = flag.String("bench", "bfs", "benchmark (record mode)")
-		wp       = flag.String("wp", "conv", "wrong-path technique (replay mode): "+strings.Join(wrongpath.Names(), ", ")+", or all; wpemul unsupported")
-		jobs     = flag.Int("jobs", 1, "-wp all worker count (0 = one per host core)")
-		maxInsts = flag.Uint64("max-insts", 0, "instruction cap (0 = workload default)")
-		batch    = flag.Int("batch", 0, "decoupling-queue lane size for replay (0 = default, 1 = per-instruction; results identical at any size)")
-		watchdog = flag.Duration("watchdog", 0, "stall-watchdog budget for replay (0 = disabled)")
-		degrade  = flag.Bool("degrade", false, "replay mode: degrade one technique rung down on a recoverable fault; keep the valid prefix of a corrupt trace")
-		retries  = flag.Int("max-retries", 2, "ladder descents allowed (with -degrade)")
-		ckptDir  = flag.String("checkpoint-dir", "", "replay mode: write crash-safe state snapshots into this directory (empty = disabled)")
-		ckptN    = flag.Uint64("checkpoint-every", 1_000_000, "snapshot interval in retired instructions (with -checkpoint-dir)")
-		resume   = flag.Bool("resume", false, "replay mode: resume from the latest snapshot in -checkpoint-dir (the trace is re-opened and skipped to the snapshot's cursor)")
+		record   = fs.Bool("record", false, "record a workload trace")
+		replay   = fs.String("replay", "", "replay a trace file through the performance simulator")
+		out      = fs.String("o", "out.trace", "output trace path (record mode)")
+		suite    = fs.String("suite", "gap", "workload suite (record mode)")
+		bench    = fs.String("bench", "bfs", "benchmark (record mode)")
+		wp       = fs.String("wp", "conv", "wrong-path technique (replay mode): "+strings.Join(wrongpath.Names(), ", ")+", or all; wpemul unsupported")
+		jobs     = fs.Int("jobs", 1, "-wp all worker count (0 = one per host core)")
+		maxInsts = fs.Uint64("max-insts", 0, "instruction cap (0 = workload default)")
+		lane     = fs.Int("batch", 0, "decoupling-queue lane size for replay (0 = default, 1 = per-instruction; results identical at any size)")
+		watchdog = fs.Duration("watchdog", 0, "stall-watchdog budget for replay (0 = disabled)")
+		degrade  = fs.Bool("degrade", false, "replay mode: degrade one technique rung down on a recoverable fault; keep the valid prefix of a corrupt trace")
+		retries  = fs.Int("max-retries", 2, "ladder descents allowed (with -degrade)")
+		ckptDir  = fs.String("checkpoint-dir", "", "replay mode: write crash-safe state snapshots into this directory (empty = disabled)")
+		ckptN    = fs.Uint64("checkpoint-every", 1_000_000, "snapshot interval in retired instructions (with -checkpoint-dir)")
+		resume   = fs.Bool("resume", false, "replay mode: resume from the latest snapshot in -checkpoint-dir (the trace is re-opened and skipped to the snapshot's cursor)")
 	)
 	var obsFlags cliobs.Flags
-	obsFlags.Register(flag.CommandLine)
-	flag.Parse()
+	obsFlags.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return exitClean
+		}
+		return exitUsage
+	}
 
 	switch {
 	case *record:
-		w, err := findWorkload(*suite, *bench)
-		if err != nil {
-			fatal(err)
-		}
-		inst, err := w.Build()
-		if err != nil {
-			fatal(err)
-		}
-		budget := *maxInsts
-		if budget == 0 {
-			budget = inst.SuggestedMaxInsts
-		}
-		cpu := functional.New(inst.Prog, inst.Mem, inst.StackTop)
-		var opts []frontend.Option
-		if budget > 0 {
-			opts = append(opts, frontend.WithMaxInstructions(budget))
-		}
-		fe := frontend.New(cpu, opts...)
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		tw, err := tracefile.NewWriter(f)
-		if err != nil {
-			fatal(err)
-		}
-		n, err := tracefile.Record(fe, tw)
-		if err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		st, _ := os.Stat(*out)
-		perInst := 0.0
-		if n > 0 {
-			perInst = float64(st.Size()) / float64(n)
-		}
-		fmt.Printf("recorded %d instructions to %s (%d bytes, %.2f B/inst)\n",
-			n, *out, st.Size(), perInst)
-
+		return runRecord(stdout, stderr, *suite, *bench, *out, *maxInsts)
 	case *replay != "":
-		metrics, tsink, err := obsFlags.Start()
-		if err != nil {
-			fatal(fmt.Errorf("observability: %w", err))
-		}
-		// SIGINT/SIGTERM cancel the replay cleanly: it stops at the next
-		// lane boundary, the partial result prints annotated, and the
-		// process exits nonzero.
-		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-		defer stopSignals()
-		if *wp == "all" {
-			faulted := replayAll(ctx, *replay, *maxInsts, *jobs, *watchdog, metrics, tsink)
-			if err := obsFlags.Finish(); err != nil {
-				fatal(fmt.Errorf("observability: %w", err))
-			}
-			if faulted {
-				os.Exit(exitAnnotated)
-			}
-			return
-		}
-		kind, ok := wrongpath.ParseKind(*wp)
-		if !ok {
-			fatal(fmt.Errorf("unknown technique %q (have %s, all)", *wp, strings.Join(wrongpath.Names(), ", ")))
-		}
-		data, err := os.ReadFile(*replay)
-		if err != nil {
-			fatal(err)
-		}
-		cfg := sim.Default(kind)
-		cfg.MaxInsts = *maxInsts
-		cfg.Core.Batch = *batch
-		cfg.Watchdog = *watchdog
-		cfg.Metrics, cfg.Trace, cfg.ObsLabel = metrics, tsink, "trace:"+*replay
-		cfg.Ctx, cfg.CheckpointDir, cfg.CheckpointEvery = ctx, *ckptDir, *ckptN
-		var res *sim.Result
-		if *degrade {
-			// Ladder replay: every attempt replays a fresh reader over the
-			// same bytes; a corrupt tail keeps the valid prefix, and an
-			// unsupported technique (wpemul on a trace) runs a rung down.
-			// With -checkpoint-dir, retries resume from the last snapshot.
-			cfg.Degrade = sim.DegradePolicy{MaxRetries: *retries}
-			res, err = sim.RunLadder(cfg, func(c sim.Config) (sim.Source, error) {
-				r, err := tracefile.NewReader(bytes.NewReader(data))
-				if err != nil {
-					return nil, err
-				}
-				return sim.NewTraceSource(r), nil
-			})
-			if err != nil {
-				fatal(err)
-			}
-		} else {
-			r, err := tracefile.NewReader(bytes.NewReader(data))
-			if err != nil {
-				fatal(err)
-			}
-			if snap := latestSnapshot(*resume, *ckptDir); snap != "" {
-				res, err = sim.ResumeTrace(cfg, r, snap)
-			} else {
-				res, err = sim.RunTrace(cfg, r)
-			}
-			if err != nil {
-				fatal(err)
-			}
-		}
-		fmt.Printf("technique      %s\n", kind)
-		faulted := false
-		if res.Degraded {
-			fmt.Printf("DEGRADED       ran as %v (requested %v): %v\n", res.WP, res.RequestedWP, res.DegradeFault)
-			faulted = true
-		} else if res.Err != nil {
-			// A replay that ended on a fault (corrupt tail, stall abort,
-			// cancellation) still prints its partial statistics, annotated —
-			// and must not exit 0 as if the replay were clean.
-			fmt.Printf("FAULT          %v\n", firstLineOf(res.Err.Error()))
-			faulted = true
-		}
-		fmt.Printf("instructions   %d\n", res.Core.Instructions)
-		fmt.Printf("cycles         %d\n", res.Core.Cycles)
-		fmt.Printf("IPC            %.4f\n", res.IPC())
-		fmt.Printf("mispredicts    %d\n", res.Core.Mispredicts)
-		fmt.Printf("WP executed    %d\n", res.Core.WPExecuted)
-		fmt.Printf("wall time      %v\n", res.Wall)
+		return runReplay(stdout, stderr, &obsFlags, replayOptions{
+			path: *replay, wp: *wp, jobs: *jobs, maxInsts: *maxInsts, lane: *lane,
+			watchdog: *watchdog, degrade: *degrade, retries: *retries,
+			ckptDir: *ckptDir, ckptN: *ckptN, resume: *resume,
+		})
+	default:
+		fmt.Fprintln(stderr, "wptrace: need -record or -replay; see -h")
+		return exitUsage
+	}
+}
+
+// runRecord executes a workload on the functional simulator and writes
+// its instruction stream as a trace file.
+func runRecord(stdout, stderr io.Writer, suite, bench, out string, maxInsts uint64) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "wptrace:", err)
+		return exitFailure
+	}
+	w, err := catalog.Find(suite, bench, catalog.Params{})
+	if err != nil {
+		return fail(err)
+	}
+	inst, err := w.Build()
+	if err != nil {
+		return fail(err)
+	}
+	budget := maxInsts
+	if budget == 0 {
+		budget = inst.SuggestedMaxInsts
+	}
+	cpu := functional.New(inst.Prog, inst.Mem, inst.StackTop)
+	var opts []frontend.Option
+	if budget > 0 {
+		opts = append(opts, frontend.WithMaxInstructions(budget))
+	}
+	fe := frontend.New(cpu, opts...)
+	f, err := os.Create(out)
+	if err != nil {
+		return fail(err)
+	}
+	tw, err := tracefile.NewWriter(f)
+	if err != nil {
+		return fail(err)
+	}
+	n, err := tracefile.Record(fe, tw)
+	if err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	st, _ := os.Stat(out)
+	perInst := 0.0
+	if n > 0 {
+		perInst = float64(st.Size()) / float64(n)
+	}
+	fmt.Fprintf(stdout, "recorded %d instructions to %s (%d bytes, %.2f B/inst)\n",
+		n, out, st.Size(), perInst)
+	return exitClean
+}
+
+// replayOptions bundles the replay-mode flags.
+type replayOptions struct {
+	path     string
+	wp       string
+	jobs     int
+	maxInsts uint64
+	lane     int
+	watchdog time.Duration
+	degrade  bool
+	retries  int
+	ckptDir  string
+	ckptN    uint64
+	resume   bool
+}
+
+// runReplay replays the trace. The observability lifecycle is a
+// named-return defer, so -metrics-out/-trace-out flush before every
+// exit — a degraded or faulted replay's metrics are kept, and a flush
+// failure hardens the exit to 1.
+func runReplay(stdout, stderr io.Writer, obsFlags *cliobs.Flags, o replayOptions) (code int) {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "wptrace:", err)
+		return exitFailure
+	}
+	metrics, tsink, err := obsFlags.Start()
+	if err != nil {
+		return fail(fmt.Errorf("observability: %w", err))
+	}
+	defer func() {
 		if err := obsFlags.Finish(); err != nil {
-			fatal(fmt.Errorf("observability: %w", err))
+			fmt.Fprintln(stderr, "wptrace: observability:", err)
+			code = exitFailure
+		}
+	}()
+	// SIGINT/SIGTERM cancel the replay cleanly: it stops at the next
+	// lane boundary, the partial result prints annotated, and the
+	// process exits nonzero.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	if o.wp == "all" {
+		faulted, err := replayAll(ctx, stdout, o.path, o.maxInsts, o.jobs, o.watchdog, metrics, tsink)
+		if err != nil {
+			return fail(err)
 		}
 		if faulted {
-			os.Exit(exitAnnotated)
+			return exitAnnotated
 		}
-
-	default:
-		fmt.Fprintln(os.Stderr, "wptrace: need -record or -replay; see -h")
-		os.Exit(2)
+		return exitClean
 	}
+	kind, ok := wrongpath.ParseKind(o.wp)
+	if !ok {
+		return fail(fmt.Errorf("unknown technique %q (have %s, all)", o.wp, strings.Join(wrongpath.Names(), ", ")))
+	}
+	data, err := os.ReadFile(o.path)
+	if err != nil {
+		return fail(err)
+	}
+	cfg := sim.Default(kind)
+	cfg.MaxInsts = o.maxInsts
+	cfg.Core.Batch = o.lane
+	cfg.Watchdog = o.watchdog
+	cfg.Metrics, cfg.Trace, cfg.ObsLabel = metrics, tsink, "trace:"+o.path
+	cfg.Ctx, cfg.CheckpointDir, cfg.CheckpointEvery = ctx, o.ckptDir, o.ckptN
+	var res *sim.Result
+	if o.degrade {
+		// Ladder replay: every attempt replays a fresh reader over the
+		// same bytes; a corrupt tail keeps the valid prefix, and an
+		// unsupported technique (wpemul on a trace) runs a rung down.
+		// With -checkpoint-dir, retries resume from the last snapshot.
+		cfg.Degrade = sim.DegradePolicy{MaxRetries: o.retries}
+		res, err = sim.RunLadder(cfg, func(c sim.Config) (sim.Source, error) {
+			r, err := tracefile.NewReader(bytes.NewReader(data))
+			if err != nil {
+				return nil, err
+			}
+			return sim.NewTraceSource(r), nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+	} else {
+		r, err := tracefile.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return fail(err)
+		}
+		snap := ""
+		if o.resume && o.ckptDir != "" {
+			// An empty or missing directory has nothing to resume.
+			if snap, err = checkpoint.Latest(o.ckptDir); err != nil {
+				return fail(fmt.Errorf("finding latest snapshot in %s: %w", o.ckptDir, err))
+			}
+		}
+		if snap != "" {
+			res, err = sim.ResumeTrace(cfg, r, snap)
+		} else {
+			res, err = sim.RunTrace(cfg, r)
+		}
+		if err != nil {
+			return fail(err)
+		}
+	}
+	fmt.Fprintf(stdout, "technique      %s\n", kind)
+	faulted := false
+	if res.Degraded {
+		fmt.Fprintf(stdout, "DEGRADED       ran as %v (requested %v): %v\n", res.WP, res.RequestedWP, res.DegradeFault)
+		faulted = true
+	} else if res.Err != nil {
+		// A replay that ended on a fault (corrupt tail, stall abort,
+		// cancellation) still prints its partial statistics, annotated —
+		// and must not exit 0 as if the replay were clean.
+		fmt.Fprintf(stdout, "FAULT          %v\n", simerr.FirstLine(res.Err))
+		faulted = true
+	}
+	fmt.Fprintf(stdout, "instructions   %d\n", res.Core.Instructions)
+	fmt.Fprintf(stdout, "cycles         %d\n", res.Core.Cycles)
+	fmt.Fprintf(stdout, "IPC            %.4f\n", res.IPC())
+	fmt.Fprintf(stdout, "mispredicts    %d\n", res.Core.Mispredicts)
+	fmt.Fprintf(stdout, "WP executed    %d\n", res.Core.WPExecuted)
+	fmt.Fprintf(stdout, "wall time      %v\n", res.Wall)
+	if faulted {
+		return exitAnnotated
+	}
+	return exitClean
 }
 
 // replayAll replays the trace under every technique the trace frontend
@@ -212,15 +287,15 @@ func main() {
 // Faulted cells (corrupt tail, stall abort, cancellation) render
 // annotated instead of killing the table mid-report; the returned flag
 // makes the caller exit nonzero after the table has printed.
-func replayAll(ctx context.Context, path string, maxInsts uint64, jobs int, watchdog time.Duration, metrics *obs.Registry, tsink *obs.TraceSink) bool {
+func replayAll(ctx context.Context, stdout io.Writer, path string, maxInsts uint64, jobs int, watchdog time.Duration, metrics *obs.Registry, tsink *obs.TraceSink) (bool, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fatal(err)
+		return false, err
 	}
 	var kinds []wrongpath.Kind
 	for _, k := range wrongpath.Kinds() {
 		if k == wrongpath.WPEmul && !sim.NewTraceSource(nil).SupportsWPEmul() {
-			fmt.Printf("(skipping %v: unsupported on a trace frontend, paper §III-B)\n\n", k)
+			fmt.Fprintf(stdout, "(skipping %v: unsupported on a trace frontend, paper §III-B)\n\n", k)
 			continue
 		}
 		kinds = append(kinds, k)
@@ -241,77 +316,27 @@ func replayAll(ctx context.Context, path string, maxInsts uint64, jobs int, watc
 		}
 	}
 	results := batch.RunContext(ctx, runJobs, jobs)
-	fmt.Printf("%-10s %12s %12s %8s %12s %12s\n",
+	fmt.Fprintf(stdout, "%-10s %12s %12s %8s %12s %12s\n",
 		"technique", "insts", "cycles", "IPC", "WP executed", "wall")
 	faulted := false
 	for i, k := range kinds {
 		if err := results[i].Err; err != nil {
-			fmt.Printf("%-10s FAULT: %v\n", k, firstLineOf(err.Error()))
+			fmt.Fprintf(stdout, "%-10s FAULT: %v\n", k, simerr.FirstLine(err))
 			faulted = true
 			continue
 		}
 		res := results[i].Value
 		note := ""
 		if res.Err != nil {
-			note = fmt.Sprintf("  FAULT(%v)", firstLineOf(res.Err.Error()))
+			note = fmt.Sprintf("  FAULT(%v)", simerr.FirstLine(res.Err))
 			faulted = true
 		}
-		fmt.Printf("%-10s %12d %12d %8.4f %12d %12v%s\n",
+		fmt.Fprintf(stdout, "%-10s %12d %12d %8.4f %12d %12v%s\n",
 			k, res.Core.Instructions, res.Core.Cycles, res.IPC(),
 			res.Core.WPExecuted, res.Wall.Round(1_000_000), note)
 	}
 	if jobs != 1 {
-		fmt.Printf("\n(wall clocks from concurrent runs; use -jobs 1 for calibrated timing)\n")
+		fmt.Fprintf(stdout, "\n(wall clocks from concurrent runs; use -jobs 1 for calibrated timing)\n")
 	}
-	return faulted
-}
-
-// latestSnapshot resolves the -resume snapshot path, or "" for a fresh
-// replay (an empty or missing directory has nothing to resume).
-func latestSnapshot(resume bool, dir string) string {
-	if !resume || dir == "" {
-		return ""
-	}
-	snap, err := checkpoint.Latest(dir)
-	if err != nil {
-		fatal(fmt.Errorf("finding latest snapshot in %s: %w", dir, err))
-	}
-	return snap
-}
-
-// firstLineOf truncates multi-line fault renderings for table notes.
-func firstLineOf(s string) string {
-	if i := strings.IndexByte(s, '\n'); i >= 0 {
-		return s[:i]
-	}
-	return s
-}
-
-func findWorkload(suite, bench string) (workloads.Workload, error) {
-	switch suite {
-	case "gap":
-		w, ok := gap.ByName(bench, gap.DefaultParams())
-		if !ok {
-			return workloads.Workload{}, fmt.Errorf("unknown gap benchmark %q", bench)
-		}
-		return w, nil
-	case "specint", "specfp":
-		pool := specproxy.IntSuite(specproxy.DefaultParams())
-		if suite == "specfp" {
-			pool = specproxy.FPSuite(specproxy.DefaultParams())
-		}
-		for _, w := range pool {
-			if w.Name == bench {
-				return w, nil
-			}
-		}
-		return workloads.Workload{}, fmt.Errorf("unknown %s benchmark %q", suite, bench)
-	default:
-		return workloads.Workload{}, fmt.Errorf("unknown suite %q", suite)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "wptrace:", err)
-	os.Exit(1)
+	return faulted, nil
 }

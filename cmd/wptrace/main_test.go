@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runWptrace(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// recordSmallTrace records a short gap/bfs trace and returns its path.
+func recordSmallTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bfs.trace")
+	code, out, stderr := runWptrace(t, "-record", "-suite", "gap", "-bench", "bfs", "-max-insts", "20000", "-o", path)
+	if code != exitClean {
+		t.Fatalf("record exit %d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	return path
+}
+
+func TestRecordAndCleanReplay(t *testing.T) {
+	trace := recordSmallTrace(t)
+	code, out, stderr := runWptrace(t, "-replay", trace, "-wp", "conv")
+	if code != exitClean {
+		t.Fatalf("replay exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "technique      conv") || !strings.Contains(out, "IPC") {
+		t.Errorf("replay report incomplete:\n%s", out)
+	}
+}
+
+// TestDegradedReplayFlushesObservability is the wptrace side of the
+// output-loss regression: wpemul on a trace frontend is deterministic
+// grounds for a ladder descent (paper §III-B), the replay exits
+// annotated, and -metrics-out must still be written.
+func TestDegradedReplayFlushesObservability(t *testing.T) {
+	trace := recordSmallTrace(t)
+	metricsOut := filepath.Join(t.TempDir(), "metrics.json")
+	code, out, stderr := runWptrace(t,
+		"-replay", trace, "-wp", "wpemul", "-degrade", "-metrics-out", metricsOut)
+	if code != exitAnnotated {
+		t.Fatalf("exit %d, want %d (annotated)\nstdout: %s\nstderr: %s", code, exitAnnotated, out, stderr)
+	}
+	if !strings.Contains(out, "DEGRADED") || !strings.Contains(out, "requested wpemul") {
+		t.Errorf("descent not annotated in the report:\n%s", out)
+	}
+	if fi, err := os.Stat(metricsOut); err != nil || fi.Size() == 0 {
+		t.Fatalf("degraded replay lost -metrics-out (err %v)", err)
+	}
+}
+
+func TestReplayHardFailureFlushesObservability(t *testing.T) {
+	metricsOut := filepath.Join(t.TempDir(), "metrics.json")
+	code, _, stderr := runWptrace(t, "-replay", filepath.Join(t.TempDir(), "missing.trace"),
+		"-wp", "conv", "-metrics-out", metricsOut)
+	if code != exitFailure {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	if _, err := os.Stat(metricsOut); err != nil {
+		t.Fatalf("hard-failure replay lost -metrics-out: %v", err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runWptrace(t); code != exitUsage {
+		t.Errorf("no mode: exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runWptrace(t, "-bogus"); code != exitUsage {
+		t.Errorf("bad flag: exit %d, want %d", code, exitUsage)
+	}
+}

@@ -1,0 +1,180 @@
+package cliobs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestStartNothingFinishNothing pins the trivial lifecycle: no flags,
+// no outputs, no errors — including Finish without any Start at all.
+func TestStartNothingFinishNothing(t *testing.T) {
+	var f Flags
+	reg, sink, err := f.Start()
+	if err != nil || reg != nil || sink != nil {
+		t.Fatalf("Start() = %v, %v, %v; want nil, nil, nil", reg, sink, err)
+	}
+	if err := f.Finish(); err != nil {
+		t.Fatalf("Finish after empty Start: %v", err)
+	}
+	var never Flags
+	if err := never.Finish(); err != nil {
+		t.Fatalf("Finish without Start: %v", err)
+	}
+}
+
+// TestMetricsAndTraceFlushed is the happy path: both outputs requested,
+// both files exist and parse after Finish.
+func TestMetricsAndTraceFlushed(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{MetricsOut: filepath.Join(dir, "m.json"), TraceOut: filepath.Join(dir, "t.json")}
+	reg, sink, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg == nil || sink == nil {
+		t.Fatal("Start returned nil outputs for requested flags")
+	}
+	reg.Counter("x_total").Inc()
+	if err := f.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	var metrics []obs.Metric
+	data, err := os.ReadFile(f.MetricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &metrics); err != nil {
+		t.Fatalf("metrics file does not parse: %v", err)
+	}
+	if len(metrics) != 1 || metrics[0].Name != "x_total" {
+		t.Fatalf("metrics = %+v", metrics)
+	}
+	var spans any
+	data, err = os.ReadFile(f.TraceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &spans); err != nil {
+		t.Fatalf("trace file does not parse: %v", err)
+	}
+}
+
+// TestFinishIdempotent: the second Finish is a no-op — it must not
+// recreate output files the first Finish already flushed.
+func TestFinishIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{MetricsOut: filepath.Join(dir, "m.json"), TraceOut: filepath.Join(dir, "t.json")}
+	if _, _, err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	// Remove both outputs; an idempotent Finish must not bring them back.
+	if err := os.Remove(f.MetricsOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(f.TraceOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Finish(); err != nil {
+		t.Fatalf("second Finish: %v", err)
+	}
+	if _, err := os.Stat(f.MetricsOut); !os.IsNotExist(err) {
+		t.Fatal("second Finish recreated the metrics file")
+	}
+	if _, err := os.Stat(f.TraceOut); !os.IsNotExist(err) {
+		t.Fatal("second Finish recreated the trace file")
+	}
+}
+
+// TestFinishConcurrent runs Finish from several goroutines under the
+// race detector: exactly one flush, no double-close.
+func TestFinishConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{MetricsOut: filepath.Join(dir, "m.json"), TraceOut: filepath.Join(dir, "t.json")}
+	if _, _, err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := f.Finish(); err != nil {
+				t.Errorf("concurrent Finish: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestStartUnwindsProfilerOnTraceError is the regression for the
+// leaked-profiler bug: when -trace-out fails after -pprof started, the
+// failed Start must stop the profiler it launched. Proof: starting a
+// second CPU profile afterwards succeeds (the runtime rejects a second
+// concurrent profile), and a later Finish is a clean no-op.
+func TestStartUnwindsProfilerOnTraceError(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{
+		PProf:    filepath.Join(dir, "cpu.pprof"),
+		TraceOut: filepath.Join(dir, "no-such-dir", "t.json"),
+	}
+	if _, _, err := f.Start(); err == nil {
+		t.Fatal("Start succeeded with an uncreatable trace path")
+	}
+	stop, err := obs.StartCPUProfile(filepath.Join(dir, "cpu2.pprof"))
+	if err != nil {
+		t.Fatalf("profiler still running after failed Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Finish(); err != nil {
+		t.Fatalf("Finish after failed Start: %v", err)
+	}
+}
+
+// TestStartPProfError: an uncreatable profile path fails Start before
+// anything else is enabled, and Finish stays a clean no-op.
+func TestStartPProfError(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{
+		PProf:      filepath.Join(dir, "no-such-dir", "cpu.pprof"),
+		MetricsOut: filepath.Join(dir, "m.json"),
+	}
+	if _, _, err := f.Start(); err == nil {
+		t.Fatal("Start succeeded with an uncreatable pprof path")
+	}
+	if err := f.Finish(); err != nil {
+		t.Fatalf("Finish after failed Start: %v", err)
+	}
+	if _, err := os.Stat(f.MetricsOut); !os.IsNotExist(err) {
+		t.Fatal("failed Start still produced a metrics file")
+	}
+}
+
+// TestRestartAfterFinish: a Flags bundle can run a second full
+// lifecycle (the daemon reuses one bundle across reload cycles).
+func TestRestartAfterFinish(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{MetricsOut: filepath.Join(dir, "m.json")}
+	for round := 0; round < 2; round++ {
+		reg, _, err := f.Start()
+		if err != nil {
+			t.Fatalf("round %d Start: %v", round, err)
+		}
+		reg.Counter("rounds_total").Inc()
+		if err := f.Finish(); err != nil {
+			t.Fatalf("round %d Finish: %v", round, err)
+		}
+		if _, err := os.Stat(f.MetricsOut); err != nil {
+			t.Fatalf("round %d left no metrics file: %v", round, err)
+		}
+	}
+}

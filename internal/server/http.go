@@ -1,0 +1,147 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// maxSpecBytes bounds the POST /jobs body; specs are small documents.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /jobs              submit a JobSpec → 202 + Status
+//	GET    /jobs              list all jobs (submission order)
+//	GET    /jobs/{id}         job status
+//	GET    /jobs/{id}/result  canonical result document (verbatim body;
+//	                          id and wall time in X-Wpserved-* headers)
+//	POST   /jobs/{id}/cancel  request cancellation (DELETE /jobs/{id} is an alias)
+//	GET    /metrics           deterministic registry snapshot (sorted JSON)
+//	GET    /healthz           liveness + drain state
+//
+// Backpressure contract: a full admission queue answers 429 with
+// Retry-After; a draining server answers 503. Neither ever blocks the
+// client.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// errorDoc is the JSON body of every non-2xx response.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorDoc{Error: msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: "+err.Error())
+		return
+	}
+	st, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// The constant Retry-After keeps the serving layer clock-free;
+		// queue drain time is workload-dependent anyway, so clients are
+		// expected to poll.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []Status `json:"jobs"`
+	}{Jobs: s.Jobs()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleResult serves the canonical result document as the response
+// body, byte-for-byte — embedding it in a JSON envelope would re-indent
+// it and break the byte-identity contract. The job id and the host wall
+// time (the two values deliberately excluded from the canonical bytes)
+// travel in headers instead.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	canonical, wall, err := s.Result(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if canonical == nil {
+		st, _ := s.Job(id)
+		writeError(w, http.StatusConflict,
+			"job "+id+" holds no result (state "+st.State+")")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Wpserved-Job", id)
+	w.Header().Set("X-Wpserved-Wall-Ns", strconv.FormatInt(wall, 10))
+	_, _ = w.Write(canonical)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		if errors.Is(err, ErrUnknownJob) {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.reg.WriteJSON(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	state := "ok"
+	if s.Draining() {
+		state = "draining"
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: state})
+}

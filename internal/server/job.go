@@ -1,0 +1,193 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+)
+
+// Job states. A job moves queued → running → one of the terminal
+// states; a daemon drain moves a running job back to queued (with
+// Interrupted set) so the next daemon run resumes it from its
+// checkpoint chain.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"     // result available; ExitCode 0 (clean) or 3 (annotated)
+	StateFailed   = "failed"   // hard failure, no result; ExitCode 1
+	StateCanceled = "canceled" // operator cancel or timeout; ExitCode 3
+)
+
+// Exit codes mirror the CLI convention (README "Exit codes"): 0 clean,
+// 1 hard failure, 3 completed-but-annotated (degraded, faulted or
+// canceled). exitPending marks a job that has not reached a terminal
+// state.
+const (
+	exitClean     = 0
+	exitFailure   = 1
+	exitAnnotated = 3
+	exitPending   = -1
+)
+
+// Status is the GET /jobs/{id} document.
+type Status struct {
+	ID    string  `json:"id"`
+	State string  `json:"state"`
+	Spec  JobSpec `json:"spec"`
+	// ExitCode mirrors the CLI exit-code convention once the job is
+	// terminal (0 clean, 1 hard failure, 3 annotated); -1 before that.
+	ExitCode int `json:"exit_code"`
+	// Degraded jobs report their descent: the requested technique, the
+	// rung that actually ran, and the one-line fault that forced it.
+	Degraded    bool   `json:"degraded,omitempty"`
+	RequestedWP string `json:"requested_wp,omitempty"`
+	RanWP       string `json:"ran_wp,omitempty"`
+	Fault       string `json:"fault,omitempty"`
+	// Error is the hard-failure or cancellation reason.
+	Error string `json:"error,omitempty"`
+	// Resumed marks a job this daemon run restored from a snapshot.
+	Resumed bool `json:"resumed,omitempty"`
+	// Interrupted marks a job a drain stopped mid-run; it is queued for
+	// resume on the next daemon run.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// CheckpointInsts is the retired-instruction count of the newest
+	// snapshot — the job's crash-safe progress watermark.
+	CheckpointInsts uint64 `json:"checkpoint_insts,omitempty"`
+	// WallNS is the host wall-clock of the run, for capacity planning;
+	// it is never part of the canonical result bytes.
+	WallNS int64 `json:"wall_ns,omitempty"`
+}
+
+// job is the in-memory lifecycle record of one submission.
+type job struct {
+	id   string
+	seq  int
+	spec JobSpec
+
+	ckptInsts atomic.Uint64 // updated from sim.Config.OnCheckpoint
+
+	mu          sync.Mutex
+	state       string
+	cancel      context.CancelFunc // non-nil while running
+	userCancel  bool
+	interrupted bool
+	resumed     bool
+	exitCode    int
+	errMsg      string
+	fault       string
+	degraded    bool
+	requestedWP string
+	ranWP       string
+	wallNS      int64
+	canonical   json.RawMessage // CanonicalResult bytes once a result exists
+}
+
+func newJob(id string, seq int, spec JobSpec) *job {
+	return &job{id: id, seq: seq, spec: spec, state: StateQueued, exitCode: exitPending}
+}
+
+// start transitions queued → running and installs the cancel hook; it
+// reports false (and leaves the job alone) when the job was canceled
+// while still queued.
+func (j *job) start(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.interrupted = false
+	j.cancel = cancel
+	return true
+}
+
+// requeue moves a drain-interrupted running job back to queued: its
+// spec and checkpoint chain are on disk, so the next daemon run
+// resumes it.
+func (j *job) requeue() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateQueued
+	j.interrupted = true
+	j.cancel = nil
+	j.exitCode = exitPending
+}
+
+// finish records a terminal state.
+func (j *job) finish(state string, exitCode int, mut func(*job)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.exitCode = exitCode
+	j.cancel = nil
+	if mut != nil {
+		mut(j)
+	}
+}
+
+// requestCancel implements the cancel endpoint: a queued job becomes
+// terminal immediately, a running one has its context canceled (the
+// completion path records the terminal state). The return reports
+// whether anything changed.
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.userCancel = true
+		j.state = StateCanceled
+		j.exitCode = exitAnnotated
+		j.errMsg = "canceled before start"
+		return true
+	case StateRunning:
+		j.userCancel = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func (j *job) isUserCanceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.userCancel
+}
+
+func (j *job) setResumed() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.resumed = true
+}
+
+// status snapshots the job document.
+func (j *job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID:              j.id,
+		State:           j.state,
+		Spec:            j.spec,
+		ExitCode:        j.exitCode,
+		Degraded:        j.degraded,
+		RequestedWP:     j.requestedWP,
+		RanWP:           j.ranWP,
+		Fault:           j.fault,
+		Error:           j.errMsg,
+		Resumed:         j.resumed,
+		Interrupted:     j.interrupted,
+		CheckpointInsts: j.ckptInsts.Load(),
+		WallNS:          j.wallNS,
+	}
+}
+
+// result returns the canonical result bytes and the host wall time, or
+// nil when no result exists (yet).
+func (j *job) result() (json.RawMessage, int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.canonical, j.wallNS
+}

@@ -1,0 +1,410 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/simerr"
+)
+
+// Config sizes the serving layer. The zero value of every field selects
+// a sensible default; simulated results never depend on any of them.
+type Config struct {
+	// Workers is the worker-pool width (<= 0: one per host core).
+	Workers int
+	// QueueDepth bounds the admission queue; a submit beyond it is
+	// rejected with ErrQueueFull (HTTP 429 + Retry-After). <= 0: 64.
+	QueueDepth int
+	// StateDir is the durable job store (specs, results, checkpoint
+	// chains). "" runs the server ephemeral: no persistence, no
+	// checkpoints, no resume.
+	StateDir string
+	// CheckpointEvery is the default snapshot interval in retired
+	// instructions for jobs that do not set their own (0: 1M). Only
+	// meaningful with a StateDir.
+	CheckpointEvery uint64
+	// Metrics receives both the server's own lifecycle metrics and the
+	// sim-layer samples of every job (nil: a fresh registry).
+	Metrics *obs.Registry
+}
+
+// Typed admission refusals, for the HTTP layer to map onto status
+// codes.
+var (
+	// ErrQueueFull reports a full admission queue (HTTP 429).
+	ErrQueueFull = errors.New("admission queue full")
+	// ErrDraining reports a server that has stopped admitting because a
+	// drain is in progress (HTTP 503).
+	ErrDraining = errors.New("server draining")
+	// ErrUnknownJob reports a job id with no record (HTTP 404).
+	ErrUnknownJob = errors.New("unknown job")
+)
+
+// Server runs simulation jobs on a bounded worker pool with durable,
+// crash-safe state. See the package comment for the conformance
+// invariant.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	admit chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	queuedN  int
+	runningN int
+	seq      int
+	jobs     map[string]*job
+	order    []*job // submission order (map ranges are banned from output paths)
+
+	mSubmitted, mRejected, mResumed *obs.Counter
+	mDone, mFailed, mCanceled       *obs.Counter
+	gQueued, gRunning               *obs.Gauge
+}
+
+// New builds the server: it loads the state directory, restores
+// terminal jobs read-only, re-admits every unfinished job (ahead of any
+// new submission, in original order), and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = batch.DefaultWorkers()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 1_000_000
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg:  cfg,
+		reg:  reg,
+		jobs: make(map[string]*job),
+
+		mSubmitted: reg.Counter("wpserved_jobs_submitted_total"),
+		mRejected:  reg.Counter("wpserved_jobs_rejected_total"),
+		mResumed:   reg.Counter("wpserved_jobs_resumed_total"),
+		mDone:      reg.Counter("wpserved_jobs_done_total"),
+		mFailed:    reg.Counter("wpserved_jobs_failed_total"),
+		mCanceled:  reg.Counter("wpserved_jobs_canceled_total"),
+		gQueued:    reg.Gauge("wpserved_jobs_queued"),
+		gRunning:   reg.Gauge("wpserved_jobs_running"),
+	}
+	s.baseCtx, s.cancelAll = context.WithCancel(context.Background())
+	pending, maxSeq, err := s.loadState()
+	if err != nil {
+		s.cancelAll()
+		return nil, err
+	}
+	s.seq = maxSeq
+	// Recovered jobs get queue slack beyond QueueDepth so re-admission
+	// can never be refused; they still occupy admission slots until a
+	// worker picks them up.
+	s.admit = make(chan *job, cfg.QueueDepth+len(pending))
+	for _, j := range pending {
+		s.queuedN++
+		s.admit <- j
+	}
+	s.gQueued.Set(uint64(s.queuedN))
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Metrics returns the registry the server publishes into.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Submit validates and admits a job. It returns ErrDraining once a
+// drain has begun and ErrQueueFull when QueueDepth jobs are already
+// waiting; any other error is a spec validation failure.
+func (s *Server) Submit(spec JobSpec) (Status, error) {
+	spec = spec.normalized()
+	if err := spec.Validate(); err != nil {
+		s.mRejected.Inc()
+		return Status{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.mRejected.Inc()
+		return Status{}, ErrDraining
+	}
+	if s.queuedN >= s.cfg.QueueDepth {
+		s.mRejected.Inc()
+		return Status{}, ErrQueueFull
+	}
+	s.seq++
+	j := newJob(jobID(s.seq), s.seq, spec)
+	if err := s.persistSpec(j); err != nil {
+		s.removeJobDir(j.id)
+		s.mRejected.Inc()
+		return Status{}, fmt.Errorf("persisting job spec: %w", err)
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.queuedN++
+	s.gQueued.Set(uint64(s.queuedN))
+	s.mSubmitted.Inc()
+	s.admit <- j // buffered beyond QueueDepth; never blocks under mu
+	return j.status(), nil
+}
+
+// Job returns the status document for id.
+func (s *Server) Job(id string) (Status, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Status{}, ErrUnknownJob
+	}
+	return j.status(), nil
+}
+
+// Jobs returns every job's status in submission order.
+func (s *Server) Jobs() []Status {
+	s.mu.Lock()
+	order := make([]*job, len(s.order))
+	copy(order, s.order)
+	s.mu.Unlock()
+	out := make([]Status, len(order))
+	for i, j := range order {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Result returns the canonical result bytes and host wall time for id,
+// or nil bytes when the job holds no result (still pending, failed,
+// or canceled).
+func (s *Server) Result(id string) ([]byte, int64, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, 0, ErrUnknownJob
+	}
+	canonical, wall := j.result()
+	return canonical, wall, nil
+}
+
+// Cancel requests cancellation of a queued or running job. A queued job
+// becomes terminal immediately; a running one stops at its next lane
+// boundary and the worker records the terminal state. The returned
+// status reflects the job after the request.
+func (s *Server) Cancel(id string) (Status, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Status{}, ErrUnknownJob
+	}
+	if j.requestCancel() {
+		st := j.status()
+		if st.State == StateCanceled {
+			// Canceled while queued: terminal right here, so this is the
+			// persistence point (a running job persists in complete).
+			s.mCanceled.Inc()
+			if err := s.persistResult(j); err != nil {
+				return st, fmt.Errorf("persisting cancellation: %w", err)
+			}
+		}
+		return st, nil
+	}
+	return j.status(), nil
+}
+
+// Drain stops admission, cancels every running job at its next lane
+// boundary (their checkpoint chains stay on disk), waits for the
+// workers to park, and returns. Interrupted jobs remain queued-on-disk;
+// the next daemon run over the same state directory re-admits and
+// resumes them bit-identically. ctx bounds the wait.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	close(s.admit)
+	s.mu.Unlock()
+	s.cancelAll()
+	parked := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(parked)
+	}()
+	select {
+	case <-parked:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("drain: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether admission has stopped.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// addRunning tracks the running-job gauge under the server lock (the
+// obs Gauge is last-value-wins, not a counter).
+func (s *Server) addRunning(d int) {
+	s.mu.Lock()
+	s.runningN += d
+	s.gRunning.Set(uint64(s.runningN))
+	s.mu.Unlock()
+}
+
+// worker is the pool loop: it pulls admitted jobs until the admission
+// channel closes. Jobs dequeued after a drain began are skipped — they
+// stay queued on disk for the next daemon run.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.admit {
+		s.mu.Lock()
+		s.queuedN--
+		s.gQueued.Set(uint64(s.queuedN))
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			continue
+		}
+		s.execute(j)
+	}
+}
+
+// execute runs one job end to end: context setup, the sim run inside a
+// panic-containing batch cell, and terminal-state recording.
+func (s *Server) execute(j *job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	if j.spec.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, time.Duration(j.spec.TimeoutMS)*time.Millisecond)
+	}
+	defer cancel()
+	if !j.start(cancel) {
+		return // canceled while queued
+	}
+	s.addRunning(1)
+	defer s.addRunning(-1)
+	// One-cell batch: containment for a panic escaping the sim layer,
+	// and a typed pre-start cancellation when the drain won the race.
+	cell := batch.RunContext(ctx, []func() (*sim.Result, error){
+		func() (*sim.Result, error) { return s.runJob(ctx, j) },
+	}, 1)[0]
+	s.complete(j, cell.Value, cell.Err)
+}
+
+// runJob layers the serving concerns onto the spec's config and runs
+// it. None of them perturb simulated state: the context only decides
+// where the run may stop early, the registry only observes, and the
+// checkpoint chain is exactly the crash-safety mechanism the sim layer
+// already guarantees bit-identical resumes for.
+func (s *Server) runJob(ctx context.Context, j *job) (*sim.Result, error) {
+	res, resumed, err := runSpec(j.spec, func(cfg *sim.Config) {
+		cfg.Ctx = ctx
+		cfg.Metrics = s.reg
+		cfg.ObsLabel = j.spec.Suite + "/" + j.spec.Bench
+		if dir := s.jobDir(j.id); dir != "" {
+			cfg.CheckpointDir = filepath.Join(dir, "ckpt")
+			cfg.CheckpointEvery = j.spec.CheckpointEvery
+			if cfg.CheckpointEvery == 0 {
+				cfg.CheckpointEvery = s.cfg.CheckpointEvery
+			}
+			cfg.OnCheckpoint = func(insts uint64, _ string) { j.ckptInsts.Store(insts) }
+		}
+	})
+	if resumed {
+		j.setResumed()
+		s.mResumed.Inc()
+	}
+	return res, err
+}
+
+// complete records a job's terminal state — or, when a drain
+// interrupted it, re-queues it for the next daemon run. The state and
+// exit code mirror the CLI convention; the canonical result bytes are
+// recorded only for completed runs (clean or annotated), never for
+// cancellations or hard failures.
+func (s *Server) complete(j *job, res *sim.Result, err error) {
+	drainInterrupted := func() bool {
+		return s.Draining() && !j.isUserCanceled()
+	}
+	switch {
+	case err != nil && errors.Is(err, simerr.ErrCanceled):
+		// Canceled before the run could start (batch pre-start check).
+		if drainInterrupted() {
+			j.requeue()
+			return
+		}
+		j.finish(StateCanceled, exitAnnotated, func(j *job) { j.errMsg = simerr.FirstLine(err) })
+		s.mCanceled.Inc()
+	case err != nil:
+		// Hard failure: the spec could not run at all (workload build
+		// error, checkpoint I/O, an escaped panic). No result exists.
+		j.finish(StateFailed, exitFailure, func(j *job) { j.errMsg = simerr.FirstLine(err) })
+		s.mFailed.Inc()
+	case res.Err != nil && errors.Is(res.Err, simerr.ErrCanceled):
+		// The run stopped at a lane boundary on cancellation. The partial
+		// result depends on where the boundary fell, so it is never
+		// exposed as a result document.
+		if drainInterrupted() {
+			j.requeue()
+			return
+		}
+		j.finish(StateCanceled, exitAnnotated, func(j *job) {
+			j.errMsg = simerr.FirstLine(res.Err)
+			j.wallNS = int64(res.Wall)
+		})
+		s.mCanceled.Inc()
+	default:
+		// A completed run: clean, degraded, or annotated by a kept-prefix
+		// fault. The result document exists in all three.
+		canonical, cerr := CanonicalResult(res)
+		if cerr != nil {
+			j.finish(StateFailed, exitFailure, func(j *job) { j.errMsg = cerr.Error() })
+			s.mFailed.Inc()
+			break
+		}
+		code := exitClean
+		if res.Degraded || res.Err != nil {
+			code = exitAnnotated
+		}
+		j.finish(StateDone, code, func(j *job) {
+			j.canonical = canonical
+			j.wallNS = int64(res.Wall)
+			j.degraded = res.Degraded
+			j.requestedWP = res.RequestedWP.String()
+			j.ranWP = res.WP.String()
+			j.fault = simerr.FirstLine(res.DegradeFault)
+			j.errMsg = simerr.FirstLine(res.Err)
+		})
+		s.mDone.Inc()
+	}
+	if err := s.persistResult(j); err != nil {
+		// The in-memory record stands; the job will re-run on the next
+		// daemon restart (spec without result), which is safe — reruns
+		// are bit-identical by construction.
+		st := j.status()
+		j.finish(st.State, st.ExitCode, func(j *job) {
+			j.errMsg = "persist: " + err.Error()
+		})
+	}
+}

@@ -1,0 +1,190 @@
+// Package server is the long-lived serving layer over the simulator:
+// wpserved accepts simulation jobs over HTTP/JSON, runs them on a
+// bounded worker pool, and exposes their lifecycle — submit, status,
+// result, cancel — plus a deterministic metrics snapshot and a health
+// probe.
+//
+// The package's one non-negotiable invariant is conformance: a job's
+// result is byte-identical to a direct sim run of the same
+// specification. Everything the serving layer adds — concurrency,
+// admission control, per-job timeouts, crash-safe checkpoints, drain
+// and resume across daemon restarts — rides on the sim layer's existing
+// determinism guarantees and must never perturb simulated state.
+// RunDirect is the conformance oracle the acceptance tests diff
+// against.
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/sim"
+	"repro/internal/workloads/catalog"
+	"repro/internal/wrongpath"
+)
+
+// JobSpec is the submit-time description of one simulation job (the
+// POST /jobs body). The zero value of every optional field selects the
+// same default the CLIs use, so a spec translates to exactly the
+// sim.Config a direct wpsim invocation with the same flags builds.
+type JobSpec struct {
+	// Suite/Bench name the workload (see internal/workloads/catalog).
+	Suite string `json:"suite"`
+	Bench string `json:"bench"`
+	// WP is the wrong-path technique name ("" = conv).
+	WP string `json:"wp,omitempty"`
+	// MaxInsts caps the simulated correct-path instructions (0 = the
+	// workload's suggested budget).
+	MaxInsts uint64 `json:"max_insts,omitempty"`
+	// WarmupInsts functionally warms state before detailed simulation.
+	WarmupInsts uint64 `json:"warmup_insts,omitempty"`
+	// Batch is the decoupling-queue lane size (0 = default; results are
+	// identical at any size).
+	Batch int `json:"batch,omitempty"`
+
+	// Workload input-shape overrides (catalog.Params).
+	N      int     `json:"n,omitempty"`
+	Degree int     `json:"degree,omitempty"`
+	Kron   bool    `json:"kron,omitempty"`
+	Grid   bool    `json:"grid,omitempty"`
+	Seed   uint64  `json:"seed,omitempty"`
+	Scale  float64 `json:"scale,omitempty"`
+
+	// WatchdogMS arms the stall watchdog with this budget (0 =
+	// disabled).
+	WatchdogMS int64 `json:"watchdog_ms,omitempty"`
+	// Degrade arms the graceful-degradation ladder: on a recoverable
+	// fault the job re-runs one technique rung down and its status
+	// reports the descent (the job-level mirror of exit code 3).
+	Degrade bool `json:"degrade,omitempty"`
+	// MaxRetries bounds ladder descents (0 with Degrade = the CLI
+	// default, 2).
+	MaxRetries int `json:"max_retries,omitempty"`
+	// TimeoutMS cancels the job this long after it starts running (0 =
+	// no deadline). Wired through sim.Config.Ctx: the run stops at the
+	// next lane boundary with a typed cancellation fault.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// CheckpointEvery overrides the server's snapshot interval for this
+	// job, in retired instructions (0 = the server default).
+	CheckpointEvery uint64 `json:"checkpoint_every,omitempty"`
+}
+
+// normalized fills the CLI-parity defaults into the optional fields.
+func (sp JobSpec) normalized() JobSpec {
+	if sp.WP == "" {
+		sp.WP = wrongpath.Conv.String()
+	}
+	if sp.Degrade && sp.MaxRetries == 0 {
+		sp.MaxRetries = 2
+	}
+	return sp
+}
+
+// params extracts the workload input-shape overrides.
+func (sp JobSpec) params() catalog.Params {
+	return catalog.Params{N: sp.N, Degree: sp.Degree, Kron: sp.Kron, Grid: sp.Grid, Seed: sp.Seed, Scale: sp.Scale}
+}
+
+// Validate rejects a spec the workers could not run: an unknown
+// workload, an unknown technique, or negative knobs.
+func (sp JobSpec) Validate() error {
+	sp = sp.normalized()
+	if _, err := catalog.Find(sp.Suite, sp.Bench, sp.params()); err != nil {
+		return err
+	}
+	if _, ok := wrongpath.ParseKind(sp.WP); !ok {
+		return fmt.Errorf("unknown wrong-path technique %q (have %v)", sp.WP, wrongpath.Names())
+	}
+	if sp.WatchdogMS < 0 || sp.TimeoutMS < 0 {
+		return fmt.Errorf("negative watchdog_ms/timeout_ms")
+	}
+	if sp.MaxRetries < 0 || sp.Batch < 0 {
+		return fmt.Errorf("negative max_retries/batch")
+	}
+	return nil
+}
+
+// simConfig translates the (normalized) spec into the sim.Config a
+// direct CLI run of the same flags would build. Serving-layer concerns
+// (context, metrics, checkpoint directory) are layered on by the
+// caller and never change simulated results.
+func (sp JobSpec) simConfig() (sim.Config, error) {
+	kind, ok := wrongpath.ParseKind(sp.WP)
+	if !ok {
+		return sim.Config{}, fmt.Errorf("unknown wrong-path technique %q (have %v)", sp.WP, wrongpath.Names())
+	}
+	cfg := sim.Default(kind)
+	cfg.MaxInsts = sp.MaxInsts
+	cfg.WarmupInsts = sp.WarmupInsts
+	cfg.Core.Batch = sp.Batch
+	cfg.Watchdog = time.Duration(sp.WatchdogMS) * time.Millisecond
+	if sp.Degrade {
+		cfg.Degrade = sim.DegradePolicy{MaxRetries: sp.MaxRetries}
+	}
+	return cfg, nil
+}
+
+// runSpec is the one execution path for a spec: both the workers and
+// the RunDirect oracle go through it, so a served job cannot diverge
+// from a direct run by construction. mod layers the serving-only
+// concerns (context, metrics registry, checkpoint directory) onto the
+// config; nil runs bare. The returned bool reports whether the run
+// resumed from a snapshot.
+func runSpec(spec JobSpec, mod func(*sim.Config)) (*sim.Result, bool, error) {
+	spec = spec.normalized()
+	cfg, err := spec.simConfig()
+	if err != nil {
+		return nil, false, err
+	}
+	w, err := catalog.Find(spec.Suite, spec.Bench, spec.params())
+	if err != nil {
+		return nil, false, err
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	inst, err := w.Build()
+	if err != nil {
+		return nil, false, fmt.Errorf("building %s/%s: %w", spec.Suite, spec.Bench, err)
+	}
+	if cfg.MaxInsts == 0 {
+		cfg.MaxInsts = inst.SuggestedMaxInsts
+	}
+	if cfg.Degrade.Enabled() {
+		// Ladder path: the first attempt consumes the prebuilt instance,
+		// retries rebuild a fresh one. RunLadder resumes each rung from
+		// the newest snapshot in cfg.CheckpointDir itself; detect that
+		// here only to report it.
+		resumed := false
+		if cfg.CheckpointDir != "" {
+			if snap, _ := checkpoint.Latest(cfg.CheckpointDir); snap != "" {
+				resumed = true
+			}
+		}
+		first := inst
+		res, err := sim.RunLadder(cfg, func(c sim.Config) (sim.Source, error) {
+			if first != nil {
+				i := first
+				first = nil
+				return sim.NewFunctionalSource(c, i), nil
+			}
+			retry, err := w.Build()
+			if err != nil {
+				return nil, fmt.Errorf("rebuilding %s/%s: %w", spec.Suite, spec.Bench, err)
+			}
+			return sim.NewFunctionalSource(c, retry), nil
+		})
+		return res, resumed, err
+	}
+	return sim.RunOrResume(cfg, inst)
+}
+
+// RunDirect runs the spec exactly as a worker would, minus every
+// serving concern — no context, no shared registry, no checkpoints. It
+// is the conformance oracle: CanonicalResult of a job's result must be
+// byte-identical to CanonicalResult of RunDirect on the same spec.
+func RunDirect(spec JobSpec) (*sim.Result, error) {
+	res, _, err := runSpec(spec, nil)
+	return res, err
+}

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// On-disk layout under Config.StateDir — the daemon's durable state:
+//
+//	job-000042/
+//	    spec.json      the JobSpec, written at admission
+//	    result.json    the terminal Status + canonical result bytes
+//	    ckpt/          the sim checkpoint chain (ckpt-*.wpsnap)
+//
+// A job directory holding a spec but no result is unfinished work: the
+// next daemon run re-admits it and RunOrResume picks the newest
+// snapshot in ckpt/, so a SIGTERM'd or crashed daemon resumes every
+// in-flight and queued job bit-identically.
+
+const jobDirPrefix = "job-"
+
+// jobID renders the canonical id for a sequence number.
+func jobID(seq int) string { return fmt.Sprintf("%s%06d", jobDirPrefix, seq) }
+
+// jobDir returns the job's state directory ("" when the server is
+// ephemeral).
+func (s *Server) jobDir(id string) string {
+	if s.cfg.StateDir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.StateDir, id)
+}
+
+// persistSpec writes the job's spec at admission time (a no-op for an
+// ephemeral server).
+func (s *Server) persistSpec(j *job) error {
+	dir := s.jobDir(j.id)
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(j.spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "spec.json"), append(data, '\n'), 0o644)
+}
+
+// persistResult writes the terminal documents: the status in
+// result.json and — when the job produced one — the canonical result
+// bytes, verbatim, in canonical.json (embedding them as a RawMessage
+// inside the indented result.json would re-indent them and break byte
+// identity across a restart). The canonical file goes first so a crash
+// between the writes leaves the job unfinished, never
+// finished-without-result. Drain-interrupted jobs are deliberately
+// never persisted — the absence of result.json is what re-admits them
+// on restart.
+func (s *Server) persistResult(j *job) error {
+	dir := s.jobDir(j.id)
+	if dir == "" {
+		return nil
+	}
+	if canonical, _ := j.result(); canonical != nil {
+		if err := os.WriteFile(filepath.Join(dir, "canonical.json"), canonical, 0o644); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(j.status(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "result.json"), append(data, '\n'), 0o644)
+}
+
+// removeJobDir rolls back a job directory created for an admission
+// that ultimately failed.
+func (s *Server) removeJobDir(id string) {
+	if dir := s.jobDir(id); dir != "" {
+		_ = os.RemoveAll(dir)
+	}
+}
+
+// loadState scans the state directory and rebuilds the job table:
+// terminal jobs are restored read-only from their result documents,
+// unfinished jobs (spec without result) are returned as pending, in
+// submission order, for re-admission. The returned maxSeq keeps new
+// ids unique across daemon runs.
+func (s *Server) loadState() (pending []*job, maxSeq int, err error) {
+	if s.cfg.StateDir == "" {
+		return nil, 0, nil
+	}
+	if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
+		return nil, 0, err
+	}
+	ents, err := os.ReadDir(s.cfg.StateDir)
+	if err != nil {
+		return nil, 0, err
+	}
+	var loaded []*job
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() || !strings.HasPrefix(name, jobDirPrefix) {
+			continue
+		}
+		var seq int
+		if _, err := fmt.Sscanf(strings.TrimPrefix(name, jobDirPrefix), "%d", &seq); err != nil {
+			continue
+		}
+		specData, err := os.ReadFile(filepath.Join(s.cfg.StateDir, name, "spec.json"))
+		if err != nil {
+			continue // a crash between MkdirAll and the spec write; nothing to recover
+		}
+		var spec JobSpec
+		if err := json.Unmarshal(specData, &spec); err != nil {
+			return nil, 0, fmt.Errorf("server: corrupt spec in %s: %w", name, err)
+		}
+		j := newJob(name, seq, spec)
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if resData, err := os.ReadFile(filepath.Join(s.cfg.StateDir, name, "result.json")); err == nil {
+			var st Status
+			if err := json.Unmarshal(resData, &st); err != nil {
+				return nil, 0, fmt.Errorf("server: corrupt result in %s: %w", name, err)
+			}
+			j.state = st.State
+			j.exitCode = st.ExitCode
+			j.degraded = st.Degraded
+			j.requestedWP = st.RequestedWP
+			j.ranWP = st.RanWP
+			j.fault = st.Fault
+			j.errMsg = st.Error
+			j.resumed = st.Resumed
+			j.wallNS = st.WallNS
+			j.ckptInsts.Store(st.CheckpointInsts)
+			if canonical, err := os.ReadFile(filepath.Join(s.cfg.StateDir, name, "canonical.json")); err == nil {
+				j.canonical = canonical
+			}
+		} else {
+			j.interrupted = true // mid-flight (or still queued) when the last daemon run ended
+			pending = append(pending, j)
+		}
+		loaded = append(loaded, j)
+	}
+	sort.Slice(loaded, func(a, b int) bool { return loaded[a].seq < loaded[b].seq })
+	sort.Slice(pending, func(a, b int) bool { return pending[a].seq < pending[b].seq })
+	for _, j := range loaded {
+		s.jobs[j.id] = j
+		s.order = append(s.order, j)
+	}
+	return pending, maxSeq, nil
+}

@@ -234,6 +234,27 @@ func Resume(cfg Config, inst *workloads.Instance, snapPath string) (*Result, err
 	return res, nil
 }
 
+// RunOrResume runs the instance, first restoring the newest snapshot in
+// cfg.CheckpointDir when checkpointing is enabled and the directory
+// holds one — the crash-safe serving loop's entry point (a fresh or
+// empty directory runs from zero). The returned bool reports whether a
+// snapshot was restored. Either way the Result is bit-identical to an
+// uninterrupted Run of the same configuration.
+func RunOrResume(cfg Config, inst *workloads.Instance) (*Result, bool, error) {
+	if cfg.checkpointEnabled() {
+		snap, err := checkpoint.Latest(cfg.CheckpointDir)
+		if err != nil {
+			return nil, false, err
+		}
+		if snap != "" {
+			res, err := Resume(cfg, inst, snap)
+			return res, true, err
+		}
+	}
+	res, err := Run(cfg, inst)
+	return res, false, err
+}
+
 // ResumeTrace is Resume for a pre-recorded trace: src must be a fresh
 // reader positioned at the start of the same trace (the snapshot's
 // cursor is replayed forward over it).

@@ -178,3 +178,17 @@ func Canceled(op string, cause error) *Fault {
 func Degraded(from, to string, cause error) *Fault {
 	return &Fault{Kind: ErrDegraded, Op: fmt.Sprintf("%s -> %s", from, to), Err: cause}
 }
+
+// FirstLine renders err's message truncated at the first newline — the
+// one-line form table cells, job statuses and log lines use for faults
+// whose full rendering (a panic fault's captured stack) spans pages.
+func FirstLine(err error) string {
+	if err == nil {
+		return ""
+	}
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

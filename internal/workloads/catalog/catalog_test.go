@@ -1,0 +1,58 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFindResolvesEverySuite(t *testing.T) {
+	for _, suite := range Suites() {
+		names := Names(suite)
+		if len(names) == 0 {
+			t.Fatalf("suite %s lists no benchmarks", suite)
+		}
+		for _, bench := range names {
+			w, err := Find(suite, bench, Params{})
+			if err != nil {
+				t.Fatalf("Find(%s, %s): %v", suite, bench, err)
+			}
+			if w.Suite != suite || w.Name != bench {
+				t.Fatalf("Find(%s, %s) returned %s/%s", suite, bench, w.Suite, w.Name)
+			}
+		}
+	}
+}
+
+func TestFindAppliesOverrides(t *testing.T) {
+	// A shrunken GAP input must build a usable instance (the override
+	// path is what wpserved job specs exercise).
+	w, err := Find("gap", "bfs", Params{N: 64, Degree: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := w.Build()
+	if err != nil {
+		t.Fatalf("building overridden bfs: %v", err)
+	}
+	if inst.Prog == nil || inst.SuggestedMaxInsts == 0 {
+		t.Fatalf("overridden instance looks empty: %+v", inst)
+	}
+	if _, err := Find("specint", Names("specint")[0], Params{Scale: 0.02, Seed: 9}); err != nil {
+		t.Fatalf("specint overrides: %v", err)
+	}
+}
+
+func TestFindErrors(t *testing.T) {
+	if _, err := Find("nope", "bfs", Params{}); err == nil || !strings.Contains(err.Error(), "unknown suite") {
+		t.Fatalf("unknown suite error = %v", err)
+	}
+	if _, err := Find("gap", "nope", Params{}); err == nil || !strings.Contains(err.Error(), "unknown gap benchmark") {
+		t.Fatalf("unknown bench error = %v", err)
+	}
+	if _, err := Find("specfp", "nope", Params{}); err == nil || !strings.Contains(err.Error(), "unknown specfp benchmark") {
+		t.Fatalf("unknown specfp bench error = %v", err)
+	}
+	if Names("nope") != nil {
+		t.Fatal("Names(unknown) should be nil")
+	}
+}
