@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-fix lint-sarif race faults chaos fuzz-smoke serve-smoke check bench bench-diff bench-all bench-smoke
+.PHONY: build test vet lint lint-fix lint-sarif race faults chaos fuzz-smoke serve-smoke serve-cache-smoke check bench bench-diff bench-all bench-smoke
 
 build:
 	$(GO) build ./...
@@ -60,8 +60,16 @@ fuzz-smoke:
 serve-smoke:
 	$(GO) test -timeout 10m -count=1 -run 'TestServeSmoke' -v ./cmd/wpserved/
 
+# serve-cache-smoke drives the result cache end-to-end over real HTTP:
+# miss, hit, coalesced (via X-Wpserved-Cache), a restart over the same
+# state directory served from the persistent tier, and byte-identity of
+# every served body against a direct sim run (see DESIGN.md, "Result
+# cache and submission coalescing").
+serve-cache-smoke:
+	$(GO) test -timeout 10m -count=1 -run 'TestServeCacheSmoke' -v ./cmd/wpserved/
+
 # check is the full CI gate.
-check: build vet lint race faults chaos serve-smoke
+check: build vet lint race faults chaos serve-smoke serve-cache-smoke
 
 # bench runs the observability regression sweep: the fig1/fig4
 # workload cross-section under every wrong-path technique with metrics

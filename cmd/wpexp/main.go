@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/cliobs"
 	"repro/internal/experiments"
+	"repro/internal/resultcache"
 	"repro/internal/simerr"
 	"repro/internal/workloads/gap"
 	"repro/internal/workloads/specproxy"
@@ -74,6 +75,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		ckptDir  = fs.String("checkpoint-dir", "", "write per-cell crash-safe snapshots under this directory (empty = disabled)")
 		ckptN    = fs.Uint64("checkpoint-every", 1_000_000, "snapshot interval in retired instructions (with -checkpoint-dir)")
 		resume   = fs.Bool("resume", false, "resume each cell from its latest snapshot under -checkpoint-dir; the resumed report is byte-identical to an uninterrupted sweep")
+		cacheDir = fs.String("cache-dir", "", "persist fault-free cell results under this directory and skip re-simulating them on repeated sweeps (empty = disabled)")
+		cacheMax = fs.Int("cache-max", 0, "cell-cache in-memory entry bound (with -cache-dir; 0 = default)")
 	)
 	var obsFlags cliobs.Flags
 	obsFlags.Register(fs)
@@ -116,6 +119,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	opt.CheckpointDir = *ckptDir
 	opt.CheckpointEvery = *ckptN
 	opt.Resume = *resume
+	if *cacheDir != "" {
+		cache, err := resultcache.New(*cacheDir, *cacheMax)
+		if err != nil {
+			fmt.Fprintf(stderr, "wpexp: opening -cache-dir: %v\n", err)
+			return exitFailure
+		}
+		opt.Cache = cache
+	}
 
 	// First SIGINT/SIGTERM cancels the sweep cleanly: in-flight cells
 	// finish their lane, the report flushes with INCOMPLETE footnotes,

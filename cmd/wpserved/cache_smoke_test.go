@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// submitDisp posts a spec and returns the accepted status plus the
+// X-Wpserved-Cache header — the client-visible cache disposition.
+func (d *daemon) submitDisp(t *testing.T, spec server.JobSpec) (server.Status, string) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(d.base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var st server.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit: status %d, body %+v", resp.StatusCode, st)
+	}
+	return st, resp.Header.Get("X-Wpserved-Cache")
+}
+
+// TestServeCacheSmoke is the end-to-end acceptance behind
+// `make serve-cache-smoke`: over real HTTP against the built binary it
+// exercises all three cache dispositions — miss (first submission
+// runs), coalesced (an identical submission joins the running leader),
+// and hit (a repeat is served from the cache, including across a
+// daemon restart) — and checks every served body is byte-identical to
+// a direct sim run.
+func TestServeCacheSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test builds and boots the daemon; skipped in -short")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "wpserved")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/wpserved")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building wpserved: %v\n%s", err, out)
+	}
+	stateDir := filepath.Join(tmp, "state")
+	d := startDaemon(t, bin, stateDir, filepath.Join(tmp, "metrics.json"))
+
+	quick := server.JobSpec{Suite: "gap", Bench: "bfs", WP: "wpemul", N: 1024, Degree: 4, Seed: 5}
+	direct, err := server.RunDirect(quick)
+	if err != nil {
+		t.Fatalf("RunDirect: %v", err)
+	}
+	want, err := server.CanonicalResult(direct)
+	if err != nil {
+		t.Fatalf("CanonicalResult: %v", err)
+	}
+
+	// Miss: the first submission runs the simulation.
+	st, disp := d.submitDisp(t, quick)
+	if disp != "miss" {
+		t.Fatalf("first submission disposition %q, want miss", disp)
+	}
+	d.waitState(t, st.ID, 30*time.Second, func(st server.Status) bool { return st.State == server.StateDone })
+	if got := d.resultBytes(t, st.ID); !bytes.Equal(got, want) {
+		t.Error("served result diverges from the direct run")
+	}
+
+	// Hit: the repeat is born terminal with the same bytes.
+	st2, disp := d.submitDisp(t, quick)
+	if disp != "hit" || st2.State != server.StateDone {
+		t.Fatalf("repeat submission disposition %q state %s, want hit/done", disp, st2.State)
+	}
+	if got := d.resultBytes(t, st2.ID); !bytes.Equal(got, want) {
+		t.Error("cache-served result diverges from the direct run")
+	}
+
+	// Coalesced: an identical submission joins the running leader and
+	// shares its bytes verbatim.
+	long := server.JobSpec{Suite: "gap", Bench: "bfs", WP: "conv", N: 16384, Degree: 8, Seed: 77}
+	lead, disp := d.submitDisp(t, long)
+	if disp != "miss" {
+		t.Fatalf("leader disposition %q, want miss", disp)
+	}
+	d.waitState(t, lead.ID, 30*time.Second, func(st server.Status) bool { return st.State == server.StateRunning })
+	follower, disp := d.submitDisp(t, long)
+	if disp != "coalesced" || follower.DedupedOf != lead.ID {
+		t.Fatalf("follower disposition %q deduped_of %q, want coalesced onto %s", disp, follower.DedupedOf, lead.ID)
+	}
+	d.waitState(t, lead.ID, 60*time.Second, func(st server.Status) bool { return st.State == server.StateDone })
+	d.waitState(t, follower.ID, 30*time.Second, func(st server.Status) bool { return st.State == server.StateDone })
+	leadBytes := d.resultBytes(t, lead.ID)
+	if got := d.resultBytes(t, follower.ID); !bytes.Equal(got, leadBytes) {
+		t.Error("coalesced follower's body differs from its leader's")
+	}
+
+	// Restart: the persistent tier under state-dir/cache survives the
+	// daemon, so the hit repeats without a run.
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	if err := d.wait(t, 60*time.Second); err != nil {
+		t.Fatalf("daemon exit: %v\nstderr:\n%s", err, d.output())
+	}
+	d2 := startDaemon(t, bin, stateDir, filepath.Join(tmp, "metrics2.json"))
+	st3, disp := d2.submitDisp(t, quick)
+	if disp != "hit" || st3.State != server.StateDone {
+		t.Fatalf("post-restart submission disposition %q state %s, want hit/done", disp, st3.State)
+	}
+	if got := d2.resultBytes(t, st3.ID); !bytes.Equal(got, want) {
+		t.Error("post-restart cache-served result diverges from the direct run")
+	}
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	if err := d2.wait(t, 60*time.Second); err != nil {
+		t.Fatalf("second daemon exit: %v\nstderr:\n%s", err, d2.output())
+	}
+}

@@ -49,6 +49,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	queueDepth := fs.Int("queue-depth", 0, "admission-queue bound; beyond it submits get 429 (0: 64)")
 	stateDir := fs.String("state-dir", "", "durable job store `dir`; empty runs ephemeral (no resume)")
 	ckptEvery := fs.Uint64("checkpoint-every", 0, "default snapshot interval in retired instructions (0: 1M)")
+	cache := fs.Bool("cache", true, "serve repeated identical specs from the content-addressed result cache (persists under state-dir/cache)")
+	cacheMax := fs.Int("cache-max", 0, "result-cache in-memory entry bound (0: default)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for running jobs to park")
 	var obsFlags cliobs.Flags
 	obsFlags.Register(fs)
@@ -73,11 +75,16 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 	}()
 
+	srvCacheMax := *cacheMax
+	if !*cache {
+		srvCacheMax = -1
+	}
 	srv, err := server.New(server.Config{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
 		StateDir:        *stateDir,
 		CheckpointEvery: *ckptEvery,
+		CacheMax:        srvCacheMax,
 		Metrics:         reg,
 	})
 	if err != nil {

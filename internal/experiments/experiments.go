@@ -19,20 +19,25 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/batch"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/resultcache"
 	"repro/internal/sim"
 	"repro/internal/simerr"
+	"repro/internal/specfp"
 	"repro/internal/workloads"
 	"repro/internal/workloads/gap"
 	"repro/internal/workloads/specproxy"
@@ -132,6 +137,16 @@ type Options struct {
 	// OnCheckpoint, when non-nil, observes every snapshot write (the
 	// chaos harness's kill hook). It runs on the simulating goroutine.
 	OnCheckpoint func(insts uint64, path string)
+	// Cache, when non-nil, memoizes cell results across runner
+	// lifetimes (and, with a persistent tier, across processes):
+	// repeated sweeps over the same cells skip re-simulation. Only
+	// fault-free cells participate — results of degraded or injected
+	// runs record host-timing events, not pure functions of the
+	// configuration — and the cache is bypassed entirely while the
+	// fault layer is armed. Report text is identical with or without
+	// it; only Wall times (and thus the speed experiment's ratios)
+	// reflect the original run instead of a fresh one.
+	Cache *resultcache.Cache
 }
 
 func (o *Options) fill() {
@@ -161,7 +176,14 @@ type Runner struct {
 	// incomplete accumulates one annotation line per cell the sweep's
 	// cancellation cut short (never started, or stopped mid-run).
 	incomplete []string
+	// simulated counts actual simulation executions (cache hits and
+	// memoized recalls excluded) — the cache-effectiveness probe.
+	simulated atomic.Uint64
 }
+
+// Simulated reports how many simulations actually executed (as opposed
+// to being recalled from the memo table or the persistent cell cache).
+func (r *Runner) Simulated() uint64 { return r.simulated.Load() }
 
 // NewRunner creates a Runner.
 func NewRunner(opt Options) *Runner {
@@ -219,6 +241,22 @@ func (r *Runner) simulate(w workloads.Workload, k wrongpath.Kind) (*sim.Result, 
 		cfg.CheckpointEvery = r.opt.CheckpointEvery
 		cfg.OnCheckpoint = r.opt.OnCheckpoint
 	}
+	// The persistent cell cache sits outside the fault layer: an armed
+	// watchdog, ladder, or injector means this cell's outcome depends on
+	// more than its configuration, so neither probe nor store.
+	useCache := r.opt.Cache != nil && !r.faultLayer()
+	var fp string
+	if useCache {
+		fp = r.cellFingerprint(w, cfg)
+		if data, hit, _ := r.opt.Cache.Get(fp); hit {
+			var cached sim.Result
+			if err := json.Unmarshal(data, &cached); err == nil {
+				return &cached, nil
+			}
+			// Undecodable entry (format drift): fall through to a run.
+		}
+	}
+	r.simulated.Add(1)
 	var res *sim.Result
 	if r.faultLayer() {
 		first := inst
@@ -248,7 +286,45 @@ func (r *Runner) simulate(w workloads.Workload, k wrongpath.Kind) (*sim.Result, 
 	if res.Err != nil && !res.Degraded {
 		return nil, fmt.Errorf("%s under %v: functional error: %w", cacheKey(w, k), k, res.Err)
 	}
+	if useCache && res.Err == nil && !res.Degraded {
+		storeCell(r.opt.Cache, fp, res)
+	}
 	return res, nil
+}
+
+// cellFingerprint is a sweep cell's content address: workload identity,
+// the runner's input-shape parameters (rendered with %+v — field order
+// is fixed by the struct, so the rendering is canonical), and the sim
+// configuration fingerprint (which carries the core configuration and
+// instruction budgets, and excludes the knobs — lane size, checkpoint
+// cadence — that provably cannot change results).
+func (r *Runner) cellFingerprint(w workloads.Workload, cfg sim.Config) string {
+	b := specfp.New("wpexp/cell/v1")
+	b.String("suite", w.Suite)
+	b.String("bench", w.Name)
+	b.String("wp", cfg.WP.String())
+	b.String("gap_params", fmt.Sprintf("%+v", r.opt.GAP))
+	b.String("spec_params", fmt.Sprintf("%+v", r.opt.Spec))
+	b.String("sim_config", cfg.Fingerprint())
+	return b.Sum()
+}
+
+// storeCell persists one fault-free cell result. Unlike the serving
+// layer's canonical documents, the stored encoding keeps Wall so a
+// recalled speed ratio reflects the run that produced it. The round
+// trip is verified before the write: an encoding that does not restore
+// to a deeply equal Result (a future unexported field, say) is simply
+// not cached — the cache may only ever skip work, never change values.
+func storeCell(c *resultcache.Cache, fp string, res *sim.Result) {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	var rt sim.Result
+	if json.Unmarshal(data, &rt) != nil || !reflect.DeepEqual(*res, rt) {
+		return
+	}
+	_ = c.Put(fp, data)
 }
 
 // latestSnapshot returns the cell's newest resumable snapshot, or "".

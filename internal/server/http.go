@@ -3,6 +3,8 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 )
@@ -59,7 +61,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		// An oversized body is the client's 413, not a malformed-spec
+		// 400: MaxBytesReader surfaces it as a typed decode error.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("job spec exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, "decoding job spec: "+err.Error())
+		return
+	}
+	// Exactly one JSON document: Decode stops at the first complete
+	// value, so `{"spec":...}{"junk":1}` would otherwise be accepted
+	// with its trailer silently dropped.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		writeError(w, http.StatusBadRequest, "trailing data after job spec")
 		return
 	}
 	st, err := s.Submit(spec)
@@ -75,6 +92,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err.Error())
 	default:
+		if st.Cache != "" {
+			w.Header().Set("X-Wpserved-Cache", st.Cache)
+		}
 		writeJSON(w, http.StatusAccepted, st)
 	}
 }
@@ -101,13 +121,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 // travel in headers instead.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	canonical, wall, err := s.Result(id)
+	// One locked read for bytes and status together: a second lookup
+	// for the 409 body could observe a state the job reached after the
+	// bytes were (not) read and blame the wrong state.
+	canonical, wall, st, err := s.ResultStatus(id)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
 	if canonical == nil {
-		st, _ := s.Job(id)
 		writeError(w, http.StatusConflict,
 			"job "+id+" holds no result (state "+st.State+")")
 		return
@@ -115,6 +137,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Wpserved-Job", id)
 	w.Header().Set("X-Wpserved-Wall-Ns", strconv.FormatInt(wall, 10))
+	if st.Cache != "" {
+		w.Header().Set("X-Wpserved-Cache", st.Cache)
+	}
 	_, _ = w.Write(canonical)
 }
 

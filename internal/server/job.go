@@ -30,6 +30,13 @@ const (
 	exitPending   = -1
 )
 
+// Cache dispositions (Status.Cache, the X-Wpserved-Cache header).
+const (
+	cacheHit       = "hit"
+	cacheMiss      = "miss"
+	cacheCoalesced = "coalesced"
+)
+
 // Status is the GET /jobs/{id} document.
 type Status struct {
 	ID    string  `json:"id"`
@@ -55,8 +62,17 @@ type Status struct {
 	// snapshot — the job's crash-safe progress watermark.
 	CheckpointInsts uint64 `json:"checkpoint_insts,omitempty"`
 	// WallNS is the host wall-clock of the run, for capacity planning;
-	// it is never part of the canonical result bytes.
+	// it is never part of the canonical result bytes. Cache-served and
+	// coalesced jobs report 0: they did not run.
 	WallNS int64 `json:"wall_ns,omitempty"`
+	// Cache is the job's cache disposition: "hit" (served from the
+	// result cache without running), "coalesced" (deduplicated onto an
+	// identical in-flight submission), or "miss" (ran the simulation).
+	// Empty when the cache is disabled.
+	Cache string `json:"cache,omitempty"`
+	// DedupedOf names the leader job a coalesced submission shares its
+	// execution — and its canonical bytes, verbatim — with.
+	DedupedOf string `json:"deduped_of,omitempty"`
 }
 
 // job is the in-memory lifecycle record of one submission.
@@ -64,8 +80,14 @@ type job struct {
 	id   string
 	seq  int
 	spec JobSpec
+	fp   string // spec.Fingerprint(), immutable
 
 	ckptInsts atomic.Uint64 // updated from sim.Config.OnCheckpoint
+
+	// followers are the coalesced submissions waiting on this job's
+	// execution. Guarded by Server.mu (not j.mu): the list is only
+	// touched at submit and settle time, both under the server lock.
+	followers []*job
 
 	mu          sync.Mutex
 	state       string
@@ -80,11 +102,14 @@ type job struct {
 	requestedWP string
 	ranWP       string
 	wallNS      int64
+	cacheDisp   string // "hit" | "miss" | "coalesced"; "" = cache disabled
+	dedupedOf   string
 	canonical   json.RawMessage // CanonicalResult bytes once a result exists
 }
 
 func newJob(id string, seq int, spec JobSpec) *job {
-	return &job{id: id, seq: seq, spec: spec, state: StateQueued, exitCode: exitPending}
+	return &job{id: id, seq: seq, spec: spec, fp: spec.Fingerprint(),
+		state: StateQueued, exitCode: exitPending}
 }
 
 // start transitions queued → running and installs the cancel hook; it
@@ -167,6 +192,11 @@ func (j *job) setResumed() {
 func (j *job) status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+// statusLocked renders the document; the caller holds j.mu.
+func (j *job) statusLocked() Status {
 	return Status{
 		ID:              j.id,
 		State:           j.state,
@@ -181,6 +211,8 @@ func (j *job) status() Status {
 		Interrupted:     j.interrupted,
 		CheckpointInsts: j.ckptInsts.Load(),
 		WallNS:          j.wallNS,
+		Cache:           j.cacheDisp,
+		DedupedOf:       j.dedupedOf,
 	}
 }
 
@@ -190,4 +222,99 @@ func (j *job) result() (json.RawMessage, int64) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.canonical, j.wallNS
+}
+
+// snapshot returns the canonical bytes, wall time, and status document
+// from one locked read — the result endpoint's view. Reading the bytes
+// and the status separately would let the job change state in between
+// and pair a body with a contradicting status.
+func (j *job) snapshot() (json.RawMessage, int64, Status) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.canonical, j.wallNS, j.statusLocked()
+}
+
+// cachedDoc is the slice of the canonical result document a job served
+// from the cache needs to rebuild its status fields; the full sim
+// payload stays opaque (the bytes are served verbatim).
+type cachedDoc struct {
+	WP           string `json:"wp"`
+	RequestedWP  string `json:"requested_wp"`
+	Degraded     bool   `json:"degraded"`
+	DegradeFault string `json:"degrade_fault"`
+	Err          string `json:"err"`
+}
+
+// serveFromCache completes a still-queued job with cached canonical
+// bytes: the status fields are rebuilt from the document's own header
+// fields, so a cache-served job is indistinguishable from a run —
+// except for its Cache disposition and zero wall time. Returns false
+// (job untouched) when the job already left the queued state or the
+// bytes do not parse as a canonical result document.
+func (j *job) serveFromCache(canonical []byte, disp string) bool {
+	var doc cachedDoc
+	if err := json.Unmarshal(canonical, &doc); err != nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateDone
+	j.exitCode = exitClean
+	if doc.Degraded || doc.Err != "" {
+		j.exitCode = exitAnnotated
+	}
+	j.canonical = canonical
+	j.degraded = doc.Degraded
+	j.requestedWP = doc.RequestedWP
+	j.ranWP = doc.WP
+	j.fault = doc.DegradeFault
+	j.errMsg = doc.Err
+	j.wallNS = 0
+	j.cacheDisp = disp
+	j.interrupted = false
+	return true
+}
+
+// serveShared completes a coalesced follower with its leader's
+// terminal document: the canonical bytes verbatim, the derived fields
+// copied. Returns false when the follower was canceled while waiting.
+func (j *job) serveShared(canonical json.RawMessage, lead Status) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateDone
+	j.exitCode = lead.ExitCode
+	j.canonical = canonical
+	j.degraded = lead.Degraded
+	j.requestedWP = lead.RequestedWP
+	j.ranWP = lead.RanWP
+	j.fault = lead.Fault
+	j.errMsg = lead.Error
+	j.wallNS = 0
+	j.interrupted = false
+	return true
+}
+
+// stillQueued reports whether the job is still waiting (a follower can
+// be canceled while its leader runs).
+func (j *job) stillQueued() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == StateQueued
+}
+
+// promote clears a follower's coalesced identity when it becomes a
+// leader itself (its original leader ended with no result to share).
+func (j *job) promote() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.dedupedOf = ""
+	if j.cacheDisp == cacheCoalesced {
+		j.cacheDisp = cacheMiss
+	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/obs"
+	"repro/internal/resultcache"
 	"repro/internal/sim"
 	"repro/internal/simerr"
 )
@@ -33,6 +34,14 @@ type Config struct {
 	// Metrics receives both the server's own lifecycle metrics and the
 	// sim-layer samples of every job (nil: a fresh registry).
 	Metrics *obs.Registry
+	// CacheMax bounds the result cache's in-memory tier (0: the
+	// resultcache default, < 0 disables the cache entirely). With a
+	// StateDir the cache also persists under StateDir/cache, surviving
+	// daemon restarts; ephemeral servers cache in memory only. The
+	// cache can only skip runs, never change bytes: entries are
+	// content-addressed by JobSpec.Fingerprint and self-verifying on
+	// read.
+	CacheMax int
 }
 
 // Typed admission refusals, for the HTTP layer to map onto status
@@ -51,8 +60,9 @@ var (
 // crash-safe state. See the package comment for the conformance
 // invariant.
 type Server struct {
-	cfg Config
-	reg *obs.Registry
+	cfg   Config
+	reg   *obs.Registry
+	cache *resultcache.Cache // nil when Config.CacheMax < 0
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -67,10 +77,16 @@ type Server struct {
 	seq      int
 	jobs     map[string]*job
 	order    []*job // submission order (map ranges are banned from output paths)
+	// inflight maps a spec fingerprint to the leader job currently
+	// queued or running for it; identical submissions coalesce onto it
+	// as followers instead of executing again.
+	inflight map[string]*job
 
-	mSubmitted, mRejected, mResumed *obs.Counter
-	mDone, mFailed, mCanceled       *obs.Counter
-	gQueued, gRunning               *obs.Gauge
+	mSubmitted, mRejected, mResumed        *obs.Counter
+	mDone, mFailed, mCanceled              *obs.Counter
+	mCacheHit, mCacheMiss, mCacheCoalesced *obs.Counter
+	mCacheCorrupt, mCacheStore, mSimRuns   *obs.Counter
+	gQueued, gRunning                      *obs.Gauge
 }
 
 // New builds the server: it loads the state directory, restores
@@ -91,18 +107,36 @@ func New(cfg Config) (*Server, error) {
 		reg = obs.NewRegistry()
 	}
 	s := &Server{
-		cfg:  cfg,
-		reg:  reg,
-		jobs: make(map[string]*job),
+		cfg:      cfg,
+		reg:      reg,
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
 
-		mSubmitted: reg.Counter("wpserved_jobs_submitted_total"),
-		mRejected:  reg.Counter("wpserved_jobs_rejected_total"),
-		mResumed:   reg.Counter("wpserved_jobs_resumed_total"),
-		mDone:      reg.Counter("wpserved_jobs_done_total"),
-		mFailed:    reg.Counter("wpserved_jobs_failed_total"),
-		mCanceled:  reg.Counter("wpserved_jobs_canceled_total"),
-		gQueued:    reg.Gauge("wpserved_jobs_queued"),
-		gRunning:   reg.Gauge("wpserved_jobs_running"),
+		mSubmitted:      reg.Counter("wpserved_jobs_submitted_total"),
+		mRejected:       reg.Counter("wpserved_jobs_rejected_total"),
+		mResumed:        reg.Counter("wpserved_jobs_resumed_total"),
+		mDone:           reg.Counter("wpserved_jobs_done_total"),
+		mFailed:         reg.Counter("wpserved_jobs_failed_total"),
+		mCanceled:       reg.Counter("wpserved_jobs_canceled_total"),
+		mCacheHit:       reg.Counter("wpserved_cache_hits_total"),
+		mCacheMiss:      reg.Counter("wpserved_cache_misses_total"),
+		mCacheCoalesced: reg.Counter("wpserved_cache_coalesced_total"),
+		mCacheCorrupt:   reg.Counter("wpserved_cache_corrupt_total"),
+		mCacheStore:     reg.Counter("wpserved_cache_stores_total"),
+		mSimRuns:        reg.Counter("wpserved_sim_runs_total"),
+		gQueued:         reg.Gauge("wpserved_jobs_queued"),
+		gRunning:        reg.Gauge("wpserved_jobs_running"),
+	}
+	if cfg.CacheMax >= 0 {
+		dir := ""
+		if cfg.StateDir != "" {
+			dir = filepath.Join(cfg.StateDir, "cache")
+		}
+		c, err := resultcache.New(dir, cfg.CacheMax)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
 	}
 	s.baseCtx, s.cancelAll = context.WithCancel(context.Background())
 	pending, maxSeq, err := s.loadState()
@@ -130,14 +164,40 @@ func New(cfg Config) (*Server, error) {
 // Metrics returns the registry the server publishes into.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
+// Cache returns the server's result cache (nil when disabled).
+func (s *Server) Cache() *resultcache.Cache { return s.cache }
+
 // Submit validates and admits a job. It returns ErrDraining once a
 // drain has begun and ErrQueueFull when QueueDepth jobs are already
 // waiting; any other error is a spec validation failure.
+//
+// Admission is cache-aware, in disposition order:
+//
+//   - hit: the spec's fingerprint resolves in the result cache; the job
+//     is born terminal with the cached canonical bytes, never queued.
+//   - coalesced: an identical submission is already queued or running;
+//     the new job becomes its follower — own id, own status document,
+//     but the leader's execution and its canonical bytes, verbatim.
+//   - miss: the job runs. A clean result is stored under its
+//     fingerprint for the next identical submission.
+//
+// Neither a hit nor a coalesced submission occupies an admission-queue
+// slot, so they are served even at QueueDepth.
 func (s *Server) Submit(spec JobSpec) (Status, error) {
 	spec = spec.normalized()
 	if err := spec.Validate(); err != nil {
 		s.mRejected.Inc()
 		return Status{}, err
+	}
+	fp := spec.Fingerprint()
+	// Probe outside the server lock: the persistent tier is a disk read
+	// and must not stall unrelated submissions. The window this opens —
+	// a leader completing between probe and registration — costs at
+	// most one redundant run (the execute-time probe closes most of
+	// it), never a wrong answer.
+	cached, hit, corrupt := s.cache.Get(fp)
+	if corrupt {
+		s.mCacheCorrupt.Inc()
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -145,12 +205,57 @@ func (s *Server) Submit(spec JobSpec) (Status, error) {
 		s.mRejected.Inc()
 		return Status{}, ErrDraining
 	}
+	if hit {
+		s.seq++
+		j := newJob(jobID(s.seq), s.seq, spec)
+		if j.serveFromCache(cached, cacheHit) {
+			if err := s.persistSpec(j); err != nil {
+				s.removeJobDir(j.id)
+				s.mRejected.Inc()
+				return Status{}, fmt.Errorf("persisting job spec: %w", err)
+			}
+			// A persist failure leaves the job unfinished on disk; the
+			// next daemon run re-runs it, which is bit-identical.
+			_ = s.persistResult(j)
+			s.jobs[j.id] = j
+			s.order = append(s.order, j)
+			s.mSubmitted.Inc()
+			s.mCacheHit.Inc()
+			s.mDone.Inc()
+			return j.status(), nil
+		}
+		// Cached bytes that do not parse as a result document (cannot
+		// happen with self-verified entries): fall through to a real
+		// run rather than serve them.
+		s.seq--
+	}
+	if leader := s.inflight[fp]; leader != nil {
+		s.seq++
+		f := newJob(jobID(s.seq), s.seq, spec)
+		f.dedupedOf = leader.id
+		f.cacheDisp = cacheCoalesced
+		if err := s.persistSpec(f); err != nil {
+			s.removeJobDir(f.id)
+			s.mRejected.Inc()
+			return Status{}, fmt.Errorf("persisting job spec: %w", err)
+		}
+		s.jobs[f.id] = f
+		s.order = append(s.order, f)
+		leader.followers = append(leader.followers, f)
+		s.mSubmitted.Inc()
+		s.mCacheCoalesced.Inc()
+		return f.status(), nil
+	}
 	if s.queuedN >= s.cfg.QueueDepth {
 		s.mRejected.Inc()
 		return Status{}, ErrQueueFull
 	}
 	s.seq++
 	j := newJob(jobID(s.seq), s.seq, spec)
+	if s.cache != nil {
+		j.cacheDisp = cacheMiss
+		s.mCacheMiss.Inc()
+	}
 	if err := s.persistSpec(j); err != nil {
 		s.removeJobDir(j.id)
 		s.mRejected.Inc()
@@ -158,6 +263,7 @@ func (s *Server) Submit(spec JobSpec) (Status, error) {
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j)
+	s.inflight[fp] = j
 	s.queuedN++
 	s.gQueued.Set(uint64(s.queuedN))
 	s.mSubmitted.Inc()
@@ -203,6 +309,22 @@ func (s *Server) Result(id string) ([]byte, int64, error) {
 	return canonical, wall, nil
 }
 
+// ResultStatus returns the canonical result bytes, host wall time, and
+// status document for id from one locked read of the job. The result
+// endpoint needs all three coherently: reading the bytes and then the
+// status separately would let the job turn terminal in between and
+// pair a no-result response with a stale state.
+func (s *Server) ResultStatus(id string) ([]byte, int64, Status, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, 0, Status{}, ErrUnknownJob
+	}
+	canonical, wall, st := j.snapshot()
+	return canonical, wall, st, nil
+}
+
 // Cancel requests cancellation of a queued or running job. A queued job
 // becomes terminal immediately; a running one stops at its next lane
 // boundary and the worker records the terminal state. The returned
@@ -218,9 +340,13 @@ func (s *Server) Cancel(id string) (Status, error) {
 		st := j.status()
 		if st.State == StateCanceled {
 			// Canceled while queued: terminal right here, so this is the
-			// persistence point (a running job persists in complete).
+			// persistence point (a running job persists in complete) and
+			// the singleflight settle point — a canceled leader hands its
+			// coalesced followers to a promoted successor.
 			s.mCanceled.Inc()
-			if err := s.persistResult(j); err != nil {
+			err := s.persistResult(j)
+			s.settle(j)
+			if err != nil {
 				return st, fmt.Errorf("persisting cancellation: %w", err)
 			}
 		}
@@ -294,6 +420,17 @@ func (s *Server) worker() {
 // execute runs one job end to end: context setup, the sim run inside a
 // panic-containing batch cell, and terminal-state recording.
 func (s *Server) execute(j *job) {
+	// Second cache probe, at dequeue time: it catches a job that waited
+	// behind the identical run that populated the cache, and a
+	// re-admitted duplicate from a previous daemon run.
+	if data, hit, corrupt := s.cache.Get(j.fp); corrupt {
+		s.mCacheCorrupt.Inc()
+	} else if hit && j.serveFromCache(data, cacheHit) {
+		s.mCacheHit.Inc()
+		s.mDone.Inc()
+		s.persistTerminal(j)
+		return
+	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	if j.spec.TimeoutMS > 0 {
 		ctx, cancel = context.WithTimeout(s.baseCtx, time.Duration(j.spec.TimeoutMS)*time.Millisecond)
@@ -318,6 +455,7 @@ func (s *Server) execute(j *job) {
 // checkpoint chain is exactly the crash-safety mechanism the sim layer
 // already guarantees bit-identical resumes for.
 func (s *Server) runJob(ctx context.Context, j *job) (*sim.Result, error) {
+	s.mSimRuns.Inc()
 	res, resumed, err := runSpec(j.spec, func(cfg *sim.Config) {
 		cfg.Ctx = ctx
 		cfg.Metrics = s.reg
@@ -397,7 +535,24 @@ func (s *Server) complete(j *job, res *sim.Result, err error) {
 			j.errMsg = simerr.FirstLine(res.Err)
 		})
 		s.mDone.Inc()
+		// Only clean results enter the cache: a degraded or annotated
+		// document records a host-timing event (a watchdog stall, a
+		// ladder descent), so it is not a pure function of the spec and
+		// a later identical submission could legitimately complete
+		// clean. Coalesced followers still share it — they joined this
+		// execution — but the cache never replays it.
+		if s.cache != nil && code == exitClean {
+			if s.cache.Put(j.fp, canonical) == nil {
+				s.mCacheStore.Inc()
+			}
+		}
 	}
+	s.persistTerminal(j)
+}
+
+// persistTerminal persists a terminal job's result documents and
+// resolves its singleflight entry.
+func (s *Server) persistTerminal(j *job) {
 	if err := s.persistResult(j); err != nil {
 		// The in-memory record stands; the job will re-run on the next
 		// daemon restart (spec without result), which is safe — reruns
@@ -407,4 +562,76 @@ func (s *Server) complete(j *job, res *sim.Result, err error) {
 			j.errMsg = "persist: " + err.Error()
 		})
 	}
+	s.settle(j)
+}
+
+// settle resolves a job's singleflight entry once it is terminal. Its
+// coalesced followers either share its canonical bytes verbatim or —
+// when the leader ended with no result (canceled, hard-failed) — the
+// first still-waiting follower is promoted to leader and enqueued, so
+// coalescing can never starve a submission behind a canceled twin.
+func (s *Server) settle(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[j.fp] == j {
+		delete(s.inflight, j.fp)
+	}
+	followers := j.followers
+	j.followers = nil
+	if len(followers) == 0 {
+		return
+	}
+	canonical, _ := j.result()
+	if canonical != nil {
+		lead := j.status()
+		for _, f := range followers {
+			if !f.serveShared(canonical, lead) {
+				continue // canceled while waiting
+			}
+			s.mDone.Inc()
+			if err := s.persistResult(f); err != nil {
+				st := f.status()
+				f.finish(st.State, st.ExitCode, func(f *job) {
+					f.errMsg = "persist: " + err.Error()
+				})
+			}
+		}
+		return
+	}
+	// The leader died without a result: promote the first follower that
+	// is still waiting, re-link the rest to it.
+	var next *job
+	var rest []*job
+	for _, f := range followers {
+		if !f.stillQueued() {
+			continue
+		}
+		if next == nil {
+			next = f
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	if next == nil {
+		return
+	}
+	next.promote()
+	next.followers = rest
+	s.inflight[next.fp] = next
+	if s.draining {
+		// Admission is closed; the promoted follower stays queued on
+		// disk and the next daemon run re-admits it.
+		return
+	}
+	// Run the promotion on its own pool-tracked goroutine rather than
+	// re-entering the admission channel: settle can run on a worker
+	// that is itself part of the pool, and a blocking channel send
+	// under the server lock could wedge every worker behind it. The
+	// wg.Add is safe here: draining is false under s.mu, so the
+	// workers are still registered and Drain's Wait has not started.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.execute(next)
+	}()
 }

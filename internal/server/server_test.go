@@ -30,6 +30,15 @@ func longSpec() JobSpec {
 	return JobSpec{Suite: "gap", Bench: "bfs", WP: "conv", N: 16384, Degree: 8}
 }
 
+// longSpecSeed is longSpec with a distinct input seed — a distinct
+// fingerprint, so submissions neither coalesce nor share cache entries
+// (tests of queueing and backpressure need genuinely distinct jobs).
+func longSpecSeed(seed uint64) JobSpec {
+	sp := longSpec()
+	sp.Seed = seed
+	return sp
+}
+
 // waitFor polls the job until pred holds (test-scale backoff, bounded
 // by iteration count so the package stays free of deadline clocks).
 func waitFor(t *testing.T, s *Server, id string, what string, pred func(Status) bool) Status {
@@ -170,15 +179,17 @@ func TestQueueFullRejects(t *testing.T) {
 	busy := decodeStatus(resp)
 	waitFor(t, s, busy.ID, "running", func(st Status) bool { return st.State == StateRunning })
 
+	// Distinct seeds: identical specs would coalesce onto the running
+	// leader instead of occupying admission slots.
 	var queued []string
 	for i := 0; i < 2; i++ {
-		resp := post(longSpec())
+		resp := post(longSpecSeed(uint64(i + 1)))
 		if resp.StatusCode != http.StatusAccepted {
 			t.Fatalf("fill %d: status %d, want 202", i, resp.StatusCode)
 		}
 		queued = append(queued, decodeStatus(resp).ID)
 	}
-	resp = post(longSpec())
+	resp = post(longSpecSeed(3))
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-depth submit: status %d, want 429", resp.StatusCode)
 	}

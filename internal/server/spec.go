@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/sim"
+	"repro/internal/specfp"
 	"repro/internal/workloads/catalog"
 	"repro/internal/wrongpath"
 )
@@ -123,6 +124,45 @@ func (sp JobSpec) simConfig() (sim.Config, error) {
 		cfg.Degrade = sim.DegradePolicy{MaxRetries: sp.MaxRetries}
 	}
 	return cfg, nil
+}
+
+// Fingerprint is the spec's content address: the specfp hash of every
+// field that can influence the canonical result bytes. The exclusions
+// mirror the checkpoint fingerprint's argument (sim.Config.Fingerprint):
+// TimeoutMS only decides whether a run is cut short (a canceled run
+// never produces a result document), Batch is the decoupling-queue lane
+// size (bit-identical at any size), and CheckpointEvery only changes
+// where snapshots fall (resume chains are bit-identical). Everything
+// else — including the watchdog and degradation knobs, which can steer
+// a run down the technique ladder — is part of the identity. Two specs
+// with equal fingerprints therefore hold equal canonical bytes, which
+// is what lets the result cache and submit coalescing share them.
+func (sp JobSpec) Fingerprint() string {
+	sp = sp.normalized()
+	b := specfp.New("wpserved/JobSpec/v1")
+	b.String("suite", sp.Suite)
+	b.String("bench", sp.Bench)
+	b.String("wp", sp.WP)
+	b.Uint64("max_insts", sp.MaxInsts)
+	b.Uint64("warmup_insts", sp.WarmupInsts)
+	b.Int("n", sp.N)
+	b.Int("degree", sp.Degree)
+	b.Bool("kron", sp.Kron)
+	b.Bool("grid", sp.Grid)
+	b.Uint64("seed", sp.Seed)
+	b.Float("scale", sp.Scale)
+	b.Int64("watchdog_ms", sp.WatchdogMS)
+	b.Bool("degrade", sp.Degrade)
+	b.Int("max_retries", sp.MaxRetries)
+	// Fold in the sim-layer configuration fingerprint so a change to the
+	// simulated core defaults invalidates old content addresses instead
+	// of serving their bytes.
+	if cfg, err := sp.simConfig(); err == nil {
+		b.String("sim_config", cfg.Fingerprint())
+	} else {
+		b.String("sim_config_error", err.Error())
+	}
+	return b.Sum()
 }
 
 // runSpec is the one execution path for a spec: both the workers and

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -25,6 +26,28 @@ const jobDirPrefix = "job-"
 
 // jobID renders the canonical id for a sequence number.
 func jobID(seq int) string { return fmt.Sprintf("%s%06d", jobDirPrefix, seq) }
+
+// parseJobSeq inverts jobID strictly: the suffix must be all digits
+// and the parsed sequence must render back to exactly the same name.
+// A lenient Sscanf("%d") here once admitted "job-12abc" as sequence
+// 12 — colliding with job-000012 in the job table — and "job-0000012"
+// as a second job-000012; the round-trip rejects both.
+func parseJobSeq(name string) (int, bool) {
+	digits := strings.TrimPrefix(name, jobDirPrefix)
+	if digits == "" {
+		return 0, false
+	}
+	for i := 0; i < len(digits); i++ {
+		if digits[i] < '0' || digits[i] > '9' {
+			return 0, false
+		}
+	}
+	seq, err := strconv.Atoi(digits)
+	if err != nil || jobID(seq) != name {
+		return 0, false
+	}
+	return seq, true
+}
 
 // jobDir returns the job's state directory ("" when the server is
 // ephemeral).
@@ -108,8 +131,8 @@ func (s *Server) loadState() (pending []*job, maxSeq int, err error) {
 		if !e.IsDir() || !strings.HasPrefix(name, jobDirPrefix) {
 			continue
 		}
-		var seq int
-		if _, err := fmt.Sscanf(strings.TrimPrefix(name, jobDirPrefix), "%d", &seq); err != nil {
+		seq, ok := parseJobSeq(name)
+		if !ok {
 			continue
 		}
 		specData, err := os.ReadFile(filepath.Join(s.cfg.StateDir, name, "spec.json"))
@@ -138,11 +161,24 @@ func (s *Server) loadState() (pending []*job, maxSeq int, err error) {
 			j.errMsg = st.Error
 			j.resumed = st.Resumed
 			j.wallNS = st.WallNS
+			j.cacheDisp = st.Cache
+			j.dedupedOf = st.DedupedOf
 			j.ckptInsts.Store(st.CheckpointInsts)
-			if canonical, err := os.ReadFile(filepath.Join(s.cfg.StateDir, name, "canonical.json")); err == nil {
-				j.canonical = canonical
+			// Only a done job may carry canonical bytes; a canceled or
+			// failed record next to a canonical.json (a crash relic)
+			// must not start serving a result it never reported.
+			if st.State == StateDone {
+				if canonical, err := os.ReadFile(filepath.Join(s.cfg.StateDir, name, "canonical.json")); err == nil {
+					j.canonical = canonical
+				}
 			}
 		} else {
+			// Re-admission. A canonical.json without result.json is the
+			// relic of a crash between persistResult's two writes; drop
+			// it now, or a re-run that ends without a result (canceled,
+			// failed) would leave it behind for a later daemon run to
+			// serve as if the job had completed.
+			_ = os.Remove(filepath.Join(s.cfg.StateDir, name, "canonical.json"))
 			j.interrupted = true // mid-flight (or still queued) when the last daemon run ended
 			pending = append(pending, j)
 		}

@@ -60,7 +60,7 @@ func (c Config) checkpointEnabled() bool {
 	return c.CheckpointEvery > 0 && c.CheckpointDir != ""
 }
 
-// fingerprint summarizes every configuration parameter that the
+// Fingerprint summarizes every configuration parameter that the
 // serialized state depends on. A snapshot restores only into a session
 // whose fingerprint matches — otherwise configuration-sized structures
 // (rings, tables) or the simulated schedule itself would diverge from
@@ -70,7 +70,13 @@ func (c Config) checkpointEnabled() bool {
 // is bit-exact), and the degradation ladder resumes a snapshot one
 // technique rung down (the policy statistics section is simply skipped
 // on a technique mismatch).
-func (c Config) fingerprint() string {
+//
+// The same exclusion argument makes canonical results content-
+// addressable: everything this string captures can change result
+// bytes, everything it omits provably cannot, which is why the serving
+// layer's result cache (internal/resultcache, keyed by specfp
+// fingerprints) folds it into its content address.
+func (c Config) Fingerprint() string {
 	return fmt.Sprintf("max=%d warm=%d lookahead=%d\n%s",
 		c.MaxInsts, c.WarmupInsts, c.lookahead(), DescribeConfig(c.Core))
 }
@@ -145,7 +151,7 @@ func (ck *checkpointer) write(insts uint64) (string, int, error) {
 	s := ck.s
 	w := checkpoint.NewWriter()
 	w.Section("sim/Session", sessionSnapshotVersion)
-	w.String(s.cfg.fingerprint())
+	w.String(s.cfg.Fingerprint())
 	w.Uint64(insts)
 	w.String(s.cfg.WP.String())
 	ck.src.SaveState(w)
@@ -181,9 +187,9 @@ func (s *Session) Restore(r *checkpoint.Reader) error {
 	if err := r.Err(); err != nil {
 		return err
 	}
-	if fp != s.cfg.fingerprint() {
+	if fp != s.cfg.Fingerprint() {
 		return simerr.Config("restoring snapshot",
-			fmt.Errorf("sim: snapshot was written under a different configuration\nsnapshot:\n%s\nresuming:\n%s", fp, s.cfg.fingerprint()))
+			fmt.Errorf("sim: snapshot was written under a different configuration\nsnapshot:\n%s\nresuming:\n%s", fp, s.cfg.Fingerprint()))
 	}
 	if err := cs.RestoreState(r); err != nil {
 		return err
